@@ -1,0 +1,76 @@
+// Command constinfo inspects constellation geometry: shell parameters,
+// coverage radii, ISL statistics, and satellite-visibility counts for a
+// sample city, for both paper constellations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"leosim/internal/constellation"
+	"leosim/internal/geo"
+	"leosim/internal/ground"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "constinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	city := flag.String("city", "London", "anchor city for visibility counts")
+	flag.Parse()
+
+	c, err := ground.CityByName(*city)
+	if err != nil {
+		return err
+	}
+	obs := c.Position().ToECEF()
+
+	for _, sh := range []constellation.Shell{
+		constellation.StarlinkPhase1(),
+		constellation.KuiperPhase1(),
+		constellation.PolarShell(),
+	} {
+		fmt.Printf("%s: %d planes × %d sats = %d, %.0f km @ %.1f°, e_min=%.0f°\n",
+			sh.Name, sh.Planes, sh.SatsPerPlane, sh.Size(),
+			sh.AltitudeKm, sh.InclinationDeg, sh.MinElevationDeg)
+		fmt.Printf("  coverage radius: %.0f km, max GSL length: %.0f km\n",
+			sh.CoverageRadiusKm(), sh.MaxGSLKm())
+
+		cst, err := constellation.New([]constellation.Shell{sh}, constellation.WithISLs())
+		if err != nil {
+			return err
+		}
+		st := cst.StatsAt(geo.Epoch)
+		fmt.Printf("  ISLs: %d (+Grid), length %.0f–%.0f km (mean %.0f), min link altitude %.0f km\n",
+			st.Count, st.MinKm, st.MaxKm, st.MeanKm, st.MinLinkAltitudeKm)
+
+		// Visibility from the chosen city across two hours.
+		minV, maxV, sum, n := 1<<30, 0, 0, 0
+		for m := 0; m < 120; m += 10 {
+			pos := cst.PositionsECEF(geo.Epoch.Add(time.Duration(m) * time.Minute))
+			vis := 0
+			for _, p := range pos {
+				if geo.Visible(obs, p, sh.MinElevationDeg) {
+					vis++
+				}
+			}
+			if vis < minV {
+				minV = vis
+			}
+			if vis > maxV {
+				maxV = vis
+			}
+			sum += vis
+			n++
+		}
+		fmt.Printf("  satellites visible from %s: min %d, max %d, mean %.1f\n\n",
+			c.Name, minV, maxV, float64(sum)/float64(n))
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Command leosim runs the paper's experiments from the command line, one
+// subcommand per table/figure:
+//
+//	leosim fig2a|fig2b      latency and its variability (§4)
+//	leosim fig3             Maceió–Durban path trace (§4)
+//	leosim fig4             aggregate throughput matrix (§5)
+//	leosim fig5             ISL capacity sweep (§5)
+//	leosim disconnected     BP's stranded satellites (§5)
+//	leosim fig6             weather attenuation across pairs (§6)
+//	leosim fig8             Delhi–Sydney weather comparison (§6)
+//	leosim fig9             GSO arc avoidance (§7)
+//	leosim fig10            cross-shell BP augmentation (§8)
+//	leosim fig11            Paris fiber augmentation (§8)
+//	leosim all              everything above
+//
+// Scale is selected with -scale tiny|reduced|large|full; "full" reproduces the
+// paper's sizing (1,000 cities, 5,000 pairs, 0.5° relay grid, 96 snapshots)
+// and needs minutes to hours of CPU depending on the experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leosim"
+	"leosim/internal/constellation"
+	"leosim/internal/ground"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leosim", flag.ContinueOnError)
+	scaleName := fs.String("scale", "reduced", "experiment scale: tiny|reduced|large|full")
+	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
+	cdfPoints := fs.Int("cdf-points", 20, "points per printed CDF series (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON envelopes instead of text")
+	verbose := fs.Bool("v", false, "print coarse progress for long-running phases to stderr")
+	seed := fs.Int64("seed", 0, "override the traffic-matrix sampling seed (0 = scale default)")
+	pairs := fs.Int("pairs", 0, "override the number of sampled city pairs (0 = scale default)")
+	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
+	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact geojson disconnected info all ext\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment expected")
+	}
+	cmd := strings.ToLower(fs.Arg(0))
+
+	var scale leosim.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = leosim.TinyScale()
+	case "reduced":
+		scale = leosim.ReducedScale()
+	case "large":
+		scale = leosim.LargeScale()
+	case "full":
+		scale = leosim.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *pairs > 0 {
+		scale.NumPairs = *pairs
+	}
+	if *cities > 0 {
+		scale.NumCities = *cities
+	}
+	if *snapshots > 0 {
+		scale.NumSnapshots = *snapshots
+	}
+	var choice leosim.ConstellationChoice
+	switch *constName {
+	case "starlink":
+		choice = leosim.Starlink
+	case "kuiper":
+		choice = leosim.Kuiper
+	default:
+		return fmt.Errorf("unknown constellation %q", *constName)
+	}
+
+	if *verbose {
+		leosim.SetProgress(os.Stderr)
+	}
+
+	start := time.Now()
+	sim, err := leosim.NewSim(choice, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s (built in %v)\n", sim, time.Since(start).Round(time.Millisecond))
+
+	experiments := []string{cmd}
+	switch cmd {
+	case "all":
+		experiments = []string{"fig2a", "fig3", "fig4", "fig5", "disconnected",
+			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	case "ext":
+		experiments = []string{"util", "pathchurn", "te", "modcod", "beams",
+			"gsoimpact", "churn", "passes"}
+	}
+	for _, e := range experiments {
+		t0 := time.Now()
+		fmt.Printf("\n== %s ==\n", e)
+		if err := runExperiment(sim, e, *cdfPoints, *jsonOut); err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		fmt.Printf("-- %s done in %v\n", e, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) error {
+	w := os.Stdout
+	emit := func(data interface{}, text func()) error {
+		if jsonOut {
+			return leosim.WriteJSON(w, cmd, sim, data)
+		}
+		text()
+		return nil
+	}
+	switch cmd {
+	case "info":
+		fmt.Fprintln(w, sim)
+		return nil
+	case "fig2a", "fig2b":
+		res, err := leosim.RunLatency(sim)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteLatencyReport(w, res, cdfPoints) })
+	case "fig3":
+		for _, name := range []string{"Maceió", "Durban"} {
+			if err := sim.EnsureCity(name); err != nil {
+				return err
+			}
+		}
+		res, err := leosim.RunPathTrace(sim, "Maceió", "Durban", leosim.BP)
+		if err != nil {
+			return err
+		}
+		for _, tr := range res.Traces {
+			if tr.Reachable {
+				fmt.Fprintf(w, "%s rtt=%6.1fms hops=%2d aircraft=%d route=%s\n",
+					tr.Time.Format("15:04"), tr.RTTMs, tr.Hops, tr.AircraftHops, tr.Route)
+			} else {
+				fmt.Fprintf(w, "%s unreachable\n", tr.Time.Format("15:04"))
+			}
+		}
+		fmt.Fprintf(w, "fig3 RTT inflation (max-min): %.1f ms; uses aircraft: %v\n",
+			res.RTTInflationMs(), res.UsesAircraftEver())
+	case "fig4":
+		rows, err := leosim.RunFig4(sim)
+		if err != nil {
+			return err
+		}
+		return emit(rows, func() { leosim.WriteFig4Report(w, rows) })
+	case "fig5":
+		pts, bp, err := leosim.RunFig5(sim, []float64{0.5, 1, 2, 3, 4, 5})
+		if err != nil {
+			return err
+		}
+		return emit(struct {
+			BPBaselineGbps float64            `json:"bpBaselineGbps"`
+			Points         []leosim.Fig5Point `json:"points"`
+		}{bp, pts}, func() { leosim.WriteFig5Report(w, pts, bp) })
+	case "disconnected":
+		res := leosim.RunDisconnected(sim)
+		return emit(res, func() { leosim.WriteDisconnectReport(w, res) })
+	case "fig6":
+		res, err := leosim.RunWeather(sim)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteWeatherReport(w, res, cdfPoints) })
+	case "fig7":
+		res, err := leosim.RunHeatmap(sim, "Delhi", "Sydney", 2)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteHeatmapReport(w, res) })
+	case "fig8":
+		res, err := leosim.RunPairWeather(sim, "Delhi", "Sydney")
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WritePairWeatherReport(w, res) })
+	case "fig9":
+		rows := leosim.RunGSOArc(sim, 40, []float64{0, 10, 20, 30, 40, 50, 60, 70, 80})
+		return emit(rows, func() { leosim.WriteGSOReport(w, rows) })
+	case "fig10":
+		res, err := leosim.RunCrossShell(sim, "Brisbane", "Tokyo")
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteCrossShellReport(w, res) })
+	case "relays":
+		base := sim.Scale
+		points, err := leosim.RunRelayDensitySweep(sim.Choice, base, []float64{base.RelaySpacingDeg, base.RelaySpacingDeg * 2, base.RelaySpacingDeg * 4})
+		if err != nil {
+			return err
+		}
+		return emit(points, func() { leosim.WriteRelayReport(w, points) })
+	case "gsoimpact":
+		res, err := leosim.RunGSOImpact(sim)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteGSOImpactReport(w, res) })
+	case "beams":
+		points, err := leosim.RunBeamSweep(sim, []int{2, 4, 8, 16, 0}, leosim.Epoch)
+		if err != nil {
+			return err
+		}
+		return emit(points, func() { leosim.WriteBeamReport(w, points) })
+	case "geojson":
+		return leosim.WriteSnapshotGeoJSON(w, sim, 0, leosim.Epoch)
+	case "util":
+		bp, err := leosim.RunUtilization(sim, leosim.BP, leosim.Epoch)
+		if err != nil {
+			return err
+		}
+		hy, err := leosim.RunUtilization(sim, leosim.Hybrid, leosim.Epoch)
+		if err != nil {
+			return err
+		}
+		return emit([]*leosim.UtilizationResult{bp, hy}, func() {
+			leosim.WriteUtilizationReport(w, bp, hy)
+		})
+	case "pathchurn":
+		res, err := leosim.RunPathChurn(sim)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WritePathChurnReport(w, res) })
+	case "passes":
+		// §2: "Each satellite is reachable from a GT for a few minutes."
+		city, err := ground.CityByName("London")
+		if err != nil {
+			return err
+		}
+		st, err := constellation.TerminalPassStats(sim.Const, city.Position(),
+			sim.Choice.Shell().MinElevationDeg, leosim.Epoch, time.Hour, 20*time.Second)
+		if err != nil {
+			return err
+		}
+		return emit(st, func() {
+			fmt.Fprintf(w, "passes over %s in 1h: %d (mean %v, max %v)\n",
+				city.Name, st.Passes, st.MeanDuration.Round(time.Second), st.MaxDuration.Round(time.Second))
+			fmt.Fprintf(w, "passes mean simultaneously visible satellites: %.1f\n", st.MeanVisible)
+		})
+	case "churn":
+		// §8: cross-shell ISL pairings are short-lived. Quantified against
+		// a polar shell added to this sim's constellation.
+		multi, err := constellation.New(
+			[]constellation.Shell{sim.Choice.Shell(), constellation.PolarShell()},
+			constellation.WithISLs())
+		if err != nil {
+			return err
+		}
+		st, err := constellation.CrossShellChurn(multi, 0, 1, leosim.Epoch, time.Minute, 45)
+		if err != nil {
+			return err
+		}
+		return emit(st, func() {
+			fmt.Fprintf(w, "churn cross-shell pairing lifetime: %v\n", st.MeanLifetime.Round(time.Second))
+			fmt.Fprintf(w, "churn switches per satellite-hour: %.1f (intra-shell +Grid: 0)\n", st.SwitchesPerSatPerHour)
+			fmt.Fprintf(w, "churn mean nearest range: %.0f km\n", st.MeanRangeKm)
+		})
+	case "modcod":
+		res, err := leosim.RunWeatherCapacity(sim)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteModcodReport(w, res) })
+	case "te":
+		res, err := leosim.RunTrafficEngineering(sim, leosim.Hybrid, 4, leosim.Epoch)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteTEReport(w, res) })
+	case "fig11":
+		nearby := []string{"Rouen", "Orléans", "Reims", "Amiens", "Le Mans"}
+		res, err := leosim.RunFiberAugmentation(sim, "Paris", nearby, 200, leosim.Epoch)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteFiberReport(w, res) })
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI plumbing: flag parsing, scale/constellation resolution, and the
+// dispatch table. Experiments themselves are covered by package tests; here
+// each command only needs to run end-to-end at tiny scale without error.
+func TestRunInfo(t *testing.T) {
+	if err := run([]string{"-scale", "tiny", "info"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKuiper(t *testing.T) {
+	if err := run([]string{"-scale", "tiny", "-constellation", "kuiper", "info"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI experiment dispatch in -short mode")
+	}
+	for _, cmd := range []string{"fig4", "disconnected", "fig9", "churn", "passes", "util"} {
+		cmd := cmd
+		t.Run(cmd, func(t *testing.T) {
+			if err := run([]string{"-scale", "tiny", "-cdf-points", "0", cmd}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunJSONFlag(t *testing.T) {
+	if err := run([]string{"-scale", "tiny", "-json", "disconnected"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // no experiment
+		{"fig4", "extra"},                       // too many args
+		{"-scale", "huge", "fig4"},              // unknown scale
+		{"-constellation", "teledesic", "fig4"}, // unknown constellation
+		{"-scale", "tiny", "figX"},              // unknown experiment
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("run(%v) panicked: %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command tlegen emits standard two-line element sets (TLEs) for a
+// constellation shell and optionally cross-checks the bundled SGP4
+// propagator against the J2-secular Kepler propagator the experiments use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"leosim/internal/constellation"
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tlegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	shellName := flag.String("shell", "starlink", "shell: starlink|kuiper|polar")
+	check := flag.Bool("check", false, "cross-check SGP4 vs Kepler instead of printing TLEs")
+	limit := flag.Int("n", 0, "print only the first n satellites (0 = all)")
+	flag.Parse()
+
+	var sh constellation.Shell
+	switch *shellName {
+	case "starlink":
+		sh = constellation.StarlinkPhase1()
+	case "kuiper":
+		sh = constellation.KuiperPhase1()
+	case "polar":
+		sh = constellation.PolarShell()
+	default:
+		return fmt.Errorf("unknown shell %q", *shellName)
+	}
+
+	lines := sh.TLEs(1, geo.Epoch)
+	if !*check {
+		n := len(lines)
+		if *limit > 0 && 2**limit < n {
+			n = 2 * *limit
+		}
+		for i := 0; i < n; i += 2 {
+			fmt.Printf("%s-%04d\n%s\n%s\n", sh.Name, i/2+1, lines[i], lines[i+1])
+		}
+		return nil
+	}
+
+	// Cross-check: propagate a sample of satellites with both propagators
+	// and report the position divergence over 90 minutes.
+	step := len(lines) / 2 / 16
+	if step < 1 {
+		step = 1
+	}
+	fmt.Printf("SGP4 vs J2-Kepler divergence for %s (90 min):\n", sh.Name)
+	worst := 0.0
+	for si := 0; si < len(lines)/2; si += step {
+		tle, err := orbit.ParseTLE(lines[2*si], lines[2*si+1])
+		if err != nil {
+			return fmt.Errorf("sat %d: %w", si, err)
+		}
+		sgp4, err := orbit.NewSGP4(tle)
+		if err != nil {
+			return fmt.Errorf("sat %d: %w", si, err)
+		}
+		kep := orbit.NewKepler(tle.Elements())
+		max := 0.0
+		for m := 0; m <= 90; m += 10 {
+			at := geo.Epoch.Add(time.Duration(m) * time.Minute)
+			d := sgp4.PositionECI(at).Distance(kep.PositionECI(at))
+			if d > max {
+				max = d
+			}
+		}
+		fmt.Printf("  sat %4d: max divergence %6.2f km\n", si, max)
+		if max > worst {
+			worst = max
+		}
+	}
+	fmt.Printf("worst sampled divergence: %.2f km\n", worst)
+	return nil
+}

@@ -1,0 +1,67 @@
+// Orbits example: exercise the orbital-mechanics substrate directly —
+// generate the Starlink shell, emit a TLE, propagate it with both the
+// J2-secular Kepler propagator and the SGP4 port, and quantify the §8
+// claim that cross-shell ISL pairings are short-lived.
+//
+//	go run ./examples/orbits
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"leosim/internal/constellation"
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+func main() {
+	shell := constellation.StarlinkPhase1()
+	fmt.Printf("%s: %d satellites, coverage radius %.0f km, max GSL %.0f km\n",
+		shell.Name, shell.Size(), shell.CoverageRadiusKm(), shell.MaxGSLKm())
+
+	// One satellite's TLE, round-tripped through the parser.
+	lines := shell.TLEs(44700, geo.Epoch)
+	fmt.Println("\nfirst satellite's TLE:")
+	fmt.Println(lines[0])
+	fmt.Println(lines[1])
+	tle, err := orbit.ParseTLE(lines[0], lines[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Propagate with both propagators and compare.
+	sgp4, err := orbit.NewSGP4(tle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kep := orbit.NewKepler(tle.Elements())
+	fmt.Println("\nSGP4 vs J2-Kepler over one orbit:")
+	for m := 0; m <= 90; m += 15 {
+		at := geo.Epoch.Add(time.Duration(m) * time.Minute)
+		ps := sgp4.PositionECI(at)
+		pk := kep.PositionECI(at)
+		sub := orbit.SubsatellitePoint(kep, at)
+		fmt.Printf("  t=%2dmin  divergence %6.2f km  subsatellite %s\n",
+			m, ps.Distance(pk), sub)
+	}
+
+	// §8: cross-shell pairings churn; intra-shell +Grid links never do.
+	multi, err := constellation.New(
+		[]constellation.Shell{shell, constellation.PolarShell()},
+		constellation.WithISLs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := constellation.CrossShellChurn(multi, 0, 1, geo.Epoch, time.Minute, 45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncross-shell nearest-neighbour churn (53° shell → polar shell):\n")
+	fmt.Printf("  mean pairing lifetime: %v\n", st.MeanLifetime.Round(time.Second))
+	fmt.Printf("  switches per satellite-hour: %.1f\n", st.SwitchesPerSatPerHour)
+	fmt.Printf("  mean nearest range: %.0f km\n", st.MeanRangeKm)
+	fmt.Println("  (+Grid intra-shell partners never change — §8's point about")
+	fmt.Println("   why Starlink's four ISLs stay within one shell)")
+}

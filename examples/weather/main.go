@@ -1,0 +1,62 @@
+// Weather example: reproduce the §6 analysis — the Fig 6 comparison of
+// 99.5th-percentile attenuation across city pairs, and the Fig 7/8
+// Delhi–Sydney deep dive where the BP path transits the wet tropics that the
+// ISL path overflies. Also demonstrates direct use of the ITU-R attenuation
+// models for a single link.
+//
+//	go run ./examples/weather
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"leosim"
+	"leosim/internal/itur"
+)
+
+func main() {
+	// Direct model use: a Ku-band uplink from Singapore (wet tropics) vs
+	// Helsinki (dry high latitude) at 40° elevation.
+	fmt.Println("--- single-link ITU-R attenuation, Ku-band uplink, e=40° ---")
+	for _, site := range []struct {
+		name     string
+		lat, lon float64
+	}{
+		{"Singapore", 1.35, 103.82},
+		{"Helsinki", 60.17, 24.94},
+	} {
+		lp := itur.LinkParams{
+			LatDeg: site.lat, LonDeg: site.lon,
+			ElevationDeg: 40, FreqGHz: 14.25, Pol: itur.PolCircular,
+		}
+		curve, err := itur.NewCurve(lp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s A(1%%)=%5.2f dB  A(0.5%%)=%5.2f dB  A(0.01%%)=%5.2f dB\n",
+			site.name, curve.At(1), curve.At(0.5), curve.At(0.01))
+	}
+
+	scale := leosim.ReducedScale()
+	scale.NumSnapshots = 6
+	sim, err := leosim.NewSim(leosim.Starlink, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- Fig 6: 99.5th-percentile attenuation across pairs ---")
+	res, err := leosim.RunWeather(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leosim.WriteWeatherReport(os.Stdout, res, 10)
+
+	fmt.Println("\n--- Fig 8: Delhi–Sydney ---")
+	pw, err := leosim.RunPairWeather(sim, "Delhi", "Sydney")
+	if err != nil {
+		log.Fatal(err)
+	}
+	leosim.WritePairWeatherReport(os.Stdout, pw)
+}

@@ -1,0 +1,3 @@
+module leosim
+
+go 1.22

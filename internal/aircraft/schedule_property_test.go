@@ -1,0 +1,62 @@
+package aircraft
+
+import (
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+)
+
+// Property: every airborne aircraft lies on its route's great circle,
+// between the endpoints.
+func TestAircraftOnGreatCircleProperty(t *testing.T) {
+	f, err := NewFleet(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := geo.Epoch.Add(9*time.Hour + 17*time.Minute)
+	checked := 0
+	for _, fl := range f.Flights {
+		p, ok := f.positionAt(fl, at)
+		if !ok {
+			continue
+		}
+		checked++
+		from := geo.LL(fl.From.Lat, fl.From.Lon)
+		to := geo.LL(fl.To.Lat, fl.To.Lon)
+		dA := geo.GreatCircleKm(from, p)
+		dB := geo.GreatCircleKm(p, to)
+		// On the geodesic: partial distances sum to the trip length.
+		if diff := dA + dB - fl.DistKm; diff > 1 || diff < -1 {
+			t.Fatalf("flight %s off its great circle by %v km", fl.From.Code+fl.To.Code, diff)
+		}
+		if dA > fl.DistKm+1 || dB > fl.DistKm+1 {
+			t.Fatalf("flight %s outside its endpoints", fl.From.Code+fl.To.Code)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d airborne aircraft checked", checked)
+	}
+}
+
+// Property: the schedule is 24h-periodic — the airborne set at t equals the
+// set at t+24h.
+func TestSchedulePeriodicProperty(t *testing.T) {
+	f, err := NewFleet(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []time.Duration{3 * time.Hour, 11*time.Hour + 30*time.Minute, 22 * time.Hour} {
+		a := f.ActiveAt(geo.Epoch.Add(off))
+		b := f.ActiveAt(geo.Epoch.Add(off + 24*time.Hour))
+		if len(a) != len(b) {
+			t.Fatalf("offset %v: %d vs %d airborne across a day boundary", off, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].FlightID != b[i].FlightID ||
+				geo.GreatCircleKm(a[i].Pos, b[i].Pos) > 1e-6 {
+				t.Fatalf("offset %v: aircraft %d differs across periods", off, i)
+			}
+		}
+	}
+}

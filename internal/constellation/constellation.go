@@ -1,0 +1,157 @@
+package constellation
+
+import (
+	"fmt"
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+// Constellation is one or more orbital shells with per-satellite propagators
+// and an ISL topology.
+type Constellation struct {
+	Shells []Shell
+	Sats   []Satellite
+	// ISLs is the list of inter-satellite links, empty for BP-only
+	// operation. Indices refer to Sats.
+	ISLs []ISL
+
+	// shellOffset[i] is the index in Sats of the first satellite of shell i.
+	shellOffset []int
+}
+
+// Option configures constellation construction.
+type Option func(*config)
+
+type config struct {
+	epoch    time.Time
+	isls     bool
+	omitSeam bool
+	sgp4     bool
+}
+
+// WithEpoch sets the constellation epoch (default geo.Epoch).
+func WithEpoch(t time.Time) Option { return func(c *config) { c.epoch = t } }
+
+// WithISLs enables generation of the +Grid ISL topology for every shell.
+// Cross-shell ISLs are never generated (§8: Starlink's four ISLs per
+// satellite are all used within a shell).
+func WithISLs() Option { return func(c *config) { c.isls = true } }
+
+// WithoutSeamISLs omits the cross-plane ISLs between the last and first
+// plane of each Walker-delta shell (the "seam" where satellites travel in
+// opposite directions).
+func WithoutSeamISLs() Option { return func(c *config) { c.omitSeam = true } }
+
+// WithSGP4 propagates satellites with the SGP4 propagator initialized from
+// generated TLEs instead of the J2-secular Kepler propagator. Slower; used
+// by the propagator ablation.
+func WithSGP4() Option { return func(c *config) { c.sgp4 = true } }
+
+// New builds a constellation from the given shells.
+func New(shells []Shell, opts ...Option) (*Constellation, error) {
+	cfg := config{epoch: geo.Epoch}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(shells) == 0 {
+		return nil, fmt.Errorf("constellation: no shells")
+	}
+	c := &Constellation{Shells: shells}
+	for si, sh := range shells {
+		if err := sh.Validate(); err != nil {
+			return nil, err
+		}
+		c.shellOffset = append(c.shellOffset, len(c.Sats))
+		for plane := 0; plane < sh.Planes; plane++ {
+			for slot := 0; slot < sh.SatsPerPlane; slot++ {
+				el := sh.elements(plane, slot, cfg.epoch)
+				var prop orbit.Propagator
+				if cfg.sgp4 {
+					p, err := sgp4For(el, cfg.epoch)
+					if err != nil {
+						return nil, err
+					}
+					prop = p
+				} else {
+					prop = orbit.NewKepler(el)
+				}
+				c.Sats = append(c.Sats, Satellite{
+					Index:      len(c.Sats),
+					ShellIndex: si,
+					Plane:      plane,
+					Slot:       slot,
+					Prop:       prop,
+				})
+			}
+		}
+	}
+	if cfg.isls {
+		c.ISLs = plusGrid(c, cfg.omitSeam)
+	}
+	return c, nil
+}
+
+func sgp4For(el orbit.Elements, epoch time.Time) (*orbit.SGP4, error) {
+	n := 86400 / (2 * 3.141592653589793) * el.MeanMotion()
+	tle := orbit.TLE{
+		SatNum:         1,
+		Epoch:          epoch,
+		InclinationDeg: el.InclinationRad * geo.Rad,
+		RAANDeg:        el.RAANRad * geo.Rad,
+		Eccentricity:   0.0001,
+		ArgPerigeeDeg:  el.ArgPerigeeRad * geo.Rad,
+		MeanAnomalyDeg: el.MeanAnomalyRad * geo.Rad,
+		MeanMotion:     n,
+	}
+	return orbit.NewSGP4(tle)
+}
+
+// Size returns the total satellite count.
+func (c *Constellation) Size() int { return len(c.Sats) }
+
+// SatIndex returns the constellation-wide index of (shell, plane, slot).
+func (c *Constellation) SatIndex(shell, plane, slot int) int {
+	sh := c.Shells[shell]
+	return c.shellOffset[shell] + plane*sh.SatsPerPlane + slot
+}
+
+// ShellOf returns the shell parameters of satellite i.
+func (c *Constellation) ShellOf(i int) Shell {
+	return c.Shells[c.Sats[i].ShellIndex]
+}
+
+// PositionsECEF returns the ECEF position of every satellite at time t, in
+// satellite-index order. Computation is parallelized across cores.
+func (c *Constellation) PositionsECEF(t time.Time) []geo.Vec3 {
+	out := make([]geo.Vec3, len(c.Sats))
+	// Rotate once: compute ECI in parallel, then apply the shared GMST
+	// rotation, rather than recomputing GMST per satellite.
+	theta := -geo.GMST(t)
+	parallelFor(len(c.Sats), func(i int) {
+		out[i] = geo.RotateZ(c.Sats[i].Prop.PositionECI(t), theta)
+	})
+	return out
+}
+
+// Snapshot bundles satellite positions at one instant.
+type Snapshot struct {
+	Time time.Time
+	// ECEF position per satellite, same order as Constellation.Sats.
+	Pos []geo.Vec3
+}
+
+// SnapshotAt computes a position snapshot at time t.
+func (c *Constellation) SnapshotAt(t time.Time) Snapshot {
+	return Snapshot{Time: t, Pos: c.PositionsECEF(t)}
+}
+
+// Snapshots computes n snapshots starting at start, spaced by step.
+func (c *Constellation) Snapshots(start time.Time, step time.Duration, n int) []Snapshot {
+	out := make([]Snapshot, n)
+	for i := range out {
+		out[i] = c.SnapshotAt(start.Add(time.Duration(i) * step))
+	}
+	return out
+}

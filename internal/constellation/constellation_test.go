@@ -1,0 +1,296 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPresetSizes(t *testing.T) {
+	if n := StarlinkPhase1().Size(); n != 1584 {
+		t.Errorf("Starlink phase 1 = %d sats, want 1584", n)
+	}
+	if n := KuiperPhase1().Size(); n != 1156 {
+		t.Errorf("Kuiper phase 1 = %d sats, want 1156", n)
+	}
+	for _, sh := range []Shell{StarlinkPhase1(), KuiperPhase1(), PolarShell(), TestShell()} {
+		if err := sh.Validate(); err != nil {
+			t.Errorf("%s: %v", sh.Name, err)
+		}
+	}
+}
+
+func TestShellValidate(t *testing.T) {
+	bad := StarlinkPhase1()
+	bad.Planes = 0
+	if bad.Validate() == nil {
+		t.Errorf("zero planes must fail")
+	}
+	bad = StarlinkPhase1()
+	bad.AltitudeKm = 2500
+	if bad.Validate() == nil {
+		t.Errorf("altitude above LEO must fail")
+	}
+	bad = StarlinkPhase1()
+	bad.MinElevationDeg = 95
+	if bad.Validate() == nil {
+		t.Errorf("bad elevation must fail")
+	}
+}
+
+func TestNewConstellation(t *testing.T) {
+	c, err := New([]Shell{TestShell()}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 64 {
+		t.Fatalf("size = %d, want 64", c.Size())
+	}
+	// +Grid: 2 ISLs per satellite (each link shared by 2) → 2N links.
+	if got, want := len(c.ISLs), 2*64; got != want {
+		t.Errorf("ISL count = %d, want %d", got, want)
+	}
+	// Every satellite has exactly 4 ISLs.
+	deg := make(map[int]int)
+	for _, l := range c.ISLs {
+		deg[l.A]++
+		deg[l.B]++
+		if l.A >= l.B {
+			t.Fatalf("ISL not ordered: %+v", l)
+		}
+	}
+	for i := 0; i < c.Size(); i++ {
+		if deg[i] != 4 {
+			t.Errorf("sat %d has %d ISLs, want 4", i, deg[i])
+		}
+	}
+}
+
+func TestNewWithoutISLs(t *testing.T) {
+	c, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ISLs) != 0 {
+		t.Errorf("BP constellation must have no ISLs")
+	}
+}
+
+func TestSeamOmission(t *testing.T) {
+	with, _ := New([]Shell{TestShell()}, WithISLs())
+	without, _ := New([]Shell{TestShell()}, WithISLs(), WithoutSeamISLs())
+	// Omitting the seam removes SatsPerPlane cross-plane links.
+	if got, want := len(with.ISLs)-len(without.ISLs), TestShell().SatsPerPlane; got != want {
+		t.Errorf("seam links removed = %d, want %d", got, want)
+	}
+}
+
+func TestPolarShellNoSeam(t *testing.T) {
+	// A 180° star shell never wraps plane ISLs around the seam.
+	c, err := New([]Shell{PolarShell()}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := PolarShell()
+	last := sh.Planes - 1
+	for _, l := range c.ISLs {
+		pa := c.Sats[l.A].Plane
+		pb := c.Sats[l.B].Plane
+		if (pa == 0 && pb == last) || (pa == last && pb == 0) {
+			t.Fatalf("star shell has seam link %+v", l)
+		}
+	}
+}
+
+func TestSatIndexRoundTrip(t *testing.T) {
+	c, err := New([]Shell{TestShell(), PolarShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sats {
+		if got := c.SatIndex(s.ShellIndex, s.Plane, s.Slot); got != s.Index {
+			t.Fatalf("SatIndex(%d,%d,%d) = %d, want %d",
+				s.ShellIndex, s.Plane, s.Slot, got, s.Index)
+		}
+	}
+	if c.ShellOf(0).Name != "test-8x8" {
+		t.Errorf("ShellOf(0) = %q", c.ShellOf(0).Name)
+	}
+	if c.ShellOf(c.Size()-1).Name != "polar" {
+		t.Errorf("ShellOf(last) = %q", c.ShellOf(c.Size()-1).Name)
+	}
+}
+
+func TestPositionsAltitudeAndSpread(t *testing.T) {
+	c, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := c.PositionsECEF(geo.Epoch.Add(31 * time.Minute))
+	for i, p := range pos {
+		alt := p.Norm() - geo.EarthRadius
+		if !almostEq(alt, 550, 2) {
+			t.Fatalf("sat %d altitude = %v", i, alt)
+		}
+	}
+	// Satellites must be spread out, not bunched: min pairwise distance of
+	// a healthy Walker shell is hundreds of km.
+	min := math.Inf(1)
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			min = math.Min(min, pos[i].Distance(pos[j]))
+		}
+	}
+	if min < 100 {
+		t.Errorf("min satellite separation = %v km — shell is bunched", min)
+	}
+}
+
+func TestStarlinkISLGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Starlink shell in -short mode")
+	}
+	c, err := New([]Shell{StarlinkPhase1()}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.StatsAt(geo.Epoch)
+	if st.Count != 2*1584 {
+		t.Errorf("ISL count = %d, want %d", st.Count, 2*1584)
+	}
+	// Intra-plane neighbor spacing at 550 km: 2·(R+h)·sin(π/22) ≈ 986 km.
+	wantIntra := 2 * (geo.EarthRadius + 550) * math.Sin(math.Pi/22)
+	if st.MaxKm < wantIntra-50 || st.MaxKm > 2100 {
+		t.Errorf("max ISL length = %v km", st.MaxKm)
+	}
+	if st.MinKm < 20 {
+		t.Errorf("min ISL length = %v km, implausibly short", st.MinKm)
+	}
+	// §2: +Grid ISLs easily stay above the lower atmosphere (~80 km).
+	if st.LinksBelowAtmosphereKm != 0 {
+		t.Errorf("%d ISLs dip below 80 km", st.LinksBelowAtmosphereKm)
+	}
+	if st.MinLinkAltitudeKm < 400 {
+		t.Errorf("min ISL altitude = %v km, want ≥ 400", st.MinLinkAltitudeKm)
+	}
+}
+
+func TestSnapshotsAdvanceSatellites(t *testing.T) {
+	c, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := c.Snapshots(geo.Epoch, 15*time.Minute, 3)
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	if !snaps[1].Time.Equal(geo.Epoch.Add(15 * time.Minute)) {
+		t.Errorf("snapshot time = %v", snaps[1].Time)
+	}
+	// Satellites move ~7.6 km/s → ≈6,800 km in 15 min.
+	d := snaps[0].Pos[0].Distance(snaps[1].Pos[0])
+	if d < 4000 || d > 9000 {
+		t.Errorf("satellite moved %v km in 15 min", d)
+	}
+}
+
+func TestWithSGP4MatchesKeplerCoarsely(t *testing.T) {
+	kep, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := New([]Shell{TestShell()}, WithSGP4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := geo.Epoch.Add(10 * time.Minute)
+	pk := kep.PositionsECEF(at)
+	ps := sg.PositionsECEF(at)
+	for i := range pk {
+		if d := pk[i].Distance(ps[i]); d > 100 {
+			t.Fatalf("sat %d: SGP4 vs Kepler %v km apart after 10 min", i, d)
+		}
+	}
+}
+
+func TestShellTLEs(t *testing.T) {
+	sh := TestShell()
+	lines := sh.TLEs(100, geo.Epoch)
+	if len(lines) != 2*sh.Size() {
+		t.Fatalf("got %d lines, want %d", len(lines), 2*sh.Size())
+	}
+	tle, err := orbit.ParseTLE(lines[0], lines[1])
+	if err != nil {
+		t.Fatalf("generated TLE does not parse: %v", err)
+	}
+	if tle.SatNum != 100 {
+		t.Errorf("satnum = %d", tle.SatNum)
+	}
+	if _, err := orbit.NewSGP4(tle); err != nil {
+		t.Errorf("generated TLE does not initialize SGP4: %v", err)
+	}
+}
+
+func TestChordMinAltitude(t *testing.T) {
+	// Two satellites on opposite sides: the chord passes through the Earth.
+	a := geo.LatLon{Lat: 0, Lon: 0, Alt: 550}.ToECEF()
+	b := geo.LatLon{Lat: 0, Lon: 180, Alt: 550}.ToECEF()
+	if alt := chordMinAltitude(a, b); alt > -6000 {
+		t.Errorf("antipodal chord min altitude = %v, want ≈ −6371", alt)
+	}
+	// Adjacent satellites: chord stays near orbital altitude.
+	c := geo.LatLon{Lat: 0, Lon: 5, Alt: 550}.ToECEF()
+	if alt := chordMinAltitude(a, c); alt < 500 || alt > 551 {
+		t.Errorf("neighbor chord min altitude = %v", alt)
+	}
+	// Degenerate: both endpoints equal.
+	if alt := chordMinAltitude(a, a); !almostEq(alt, 550, 1e-6) {
+		t.Errorf("degenerate chord altitude = %v", alt)
+	}
+}
+
+func TestNewRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Errorf("empty shell list must fail")
+	}
+	bad := TestShell()
+	bad.AltitudeKm = -5
+	if _, err := New([]Shell{bad}); err == nil {
+		t.Errorf("invalid shell must fail")
+	}
+}
+
+func TestStatsAtNoISLs(t *testing.T) {
+	c, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.StatsAt(geo.Epoch)
+	if st.Count != 0 || st.MinKm != 0 || st.MinLinkAltitudeKm != 0 {
+		t.Errorf("BP constellation ISL stats should be zero: %+v", st)
+	}
+}
+
+func TestISLLengthAndAltitudeHelpers(t *testing.T) {
+	c, err := New([]Shell{TestShell()}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.SnapshotAt(geo.Epoch)
+	l := c.ISLs[0]
+	if d := ISLLengthKm(s, l); d <= 0 || d > 12000 {
+		t.Errorf("ISL length = %v", d)
+	}
+	// The sparse 8-per-plane test shell legitimately dips its intra-plane
+	// chords near the surface (45° spacing); only consistency with the
+	// chord helper is asserted here — the ≥80 km atmosphere constraint is
+	// checked on the real Starlink shell in TestStarlinkISLGeometry.
+	if a := ISLMinAltitudeKm(s, l); !almostEq(a, chordMinAltitude(s.Pos[l.A], s.Pos[l.B]), 1e-9) {
+		t.Errorf("ISLMinAltitudeKm inconsistent with chordMinAltitude")
+	}
+}

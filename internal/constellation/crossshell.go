@@ -1,0 +1,92 @@
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// §8 argues that cross-shell ISL connectivity is non-trivial: "because of
+// the different satellite trajectories across shells, such links will not be
+// as long-lived as those within a shell, and thus require frequent teardown
+// and setup". ChurnStats quantifies that claim: it tracks, for each
+// satellite of one shell, its nearest neighbour in another shell over time
+// and measures how often that pairing changes. Intra-shell +Grid partners
+// never change (lifetime = the whole window), so any finite cross-shell
+// lifetime is pure overhead an operator would pay.
+type ChurnStats struct {
+	// MeanLifetime is the average duration a nearest-neighbour pairing
+	// survives before switching.
+	MeanLifetime time.Duration
+	// SwitchesPerSatPerHour is the mean partner-change rate.
+	SwitchesPerSatPerHour float64
+	// MeanRangeKm is the average distance of the tracked pairings.
+	MeanRangeKm float64
+	// Samples counts (satellite, snapshot) observations.
+	Samples int
+}
+
+// CrossShellChurn measures nearest-neighbour churn from shell indexA toward
+// shell indexB of constellation c, sampling n snapshots every step from
+// start. The step should be much shorter than an orbital period (minutes)
+// for a faithful lifetime estimate.
+func CrossShellChurn(c *Constellation, indexA, indexB int, start time.Time, step time.Duration, n int) (ChurnStats, error) {
+	if indexA < 0 || indexA >= len(c.Shells) || indexB < 0 || indexB >= len(c.Shells) {
+		return ChurnStats{}, fmt.Errorf("constellation: shell index out of range")
+	}
+	if indexA == indexB {
+		return ChurnStats{}, fmt.Errorf("constellation: churn needs two distinct shells")
+	}
+	if n < 2 || step <= 0 {
+		return ChurnStats{}, fmt.Errorf("constellation: need ≥ 2 snapshots and positive step")
+	}
+	shA, shB := c.Shells[indexA], c.Shells[indexB]
+	offA := c.shellOffset[indexA]
+	offB := c.shellOffset[indexB]
+	sizeA, sizeB := shA.Size(), shB.Size()
+
+	prev := make([]int, sizeA)
+	for i := range prev {
+		prev[i] = -1
+	}
+	switches := 0
+	var rangeSum float64
+	samples := 0
+
+	for si := 0; si < n; si++ {
+		pos := c.PositionsECEF(start.Add(time.Duration(si) * step))
+		for a := 0; a < sizeA; a++ {
+			pa := pos[offA+a]
+			best := -1
+			bestD := math.Inf(1)
+			for b := 0; b < sizeB; b++ {
+				if d := pa.Distance(pos[offB+b]); d < bestD {
+					bestD = d
+					best = b
+				}
+			}
+			if prev[a] >= 0 && prev[a] != best {
+				switches++
+			}
+			prev[a] = best
+			rangeSum += bestD
+			samples++
+		}
+	}
+
+	window := step * time.Duration(n-1)
+	st := ChurnStats{
+		MeanRangeKm: rangeSum / float64(samples),
+		Samples:     samples,
+	}
+	totalSatHours := float64(sizeA) * window.Hours()
+	if totalSatHours > 0 {
+		st.SwitchesPerSatPerHour = float64(switches) / totalSatHours
+	}
+	if switches > 0 {
+		st.MeanLifetime = time.Duration(float64(window) * float64(sizeA) / float64(switches))
+	} else {
+		st.MeanLifetime = window
+	}
+	return st, nil
+}

@@ -1,0 +1,70 @@
+package constellation
+
+import (
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+)
+
+func TestCrossShellChurn(t *testing.T) {
+	// A 53° test shell against a polar shell: trajectories diverge, so
+	// nearest-neighbour pairings must churn on the timescale §8 worries
+	// about (minutes, far shorter than the simulated hour).
+	c, err := New([]Shell{TestShell(), PolarShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := CrossShellChurn(c, 0, 1, geo.Epoch, time.Minute, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != TestShell().Size()*30 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	if st.SwitchesPerSatPerHour <= 1 {
+		t.Errorf("cross-shell pairings should churn: %v switches/sat/hour",
+			st.SwitchesPerSatPerHour)
+	}
+	if st.MeanLifetime >= 29*time.Minute {
+		t.Errorf("cross-shell lifetime %v ≈ whole window — §8 premise violated",
+			st.MeanLifetime)
+	}
+	if st.MeanRangeKm <= 0 || st.MeanRangeKm > 4000 {
+		t.Errorf("mean nearest range = %v km", st.MeanRangeKm)
+	}
+}
+
+func TestCrossShellChurnSameInclination(t *testing.T) {
+	// Two shells with identical inclination and altitude but offset RAAN
+	// patterns still churn, but the direction of the comparison in the
+	// main test is the point; here only check determinism and validity.
+	c, err := New([]Shell{TestShell(), PolarShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := CrossShellChurn(c, 0, 1, geo.Epoch, time.Minute, 10)
+	b, _ := CrossShellChurn(c, 0, 1, geo.Epoch, time.Minute, 10)
+	if a != b {
+		t.Errorf("churn not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCrossShellChurnValidation(t *testing.T) {
+	c, err := New([]Shell{TestShell(), PolarShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CrossShellChurn(c, 0, 0, geo.Epoch, time.Minute, 10); err == nil {
+		t.Errorf("same shell must fail")
+	}
+	if _, err := CrossShellChurn(c, 0, 5, geo.Epoch, time.Minute, 10); err == nil {
+		t.Errorf("bad index must fail")
+	}
+	if _, err := CrossShellChurn(c, 0, 1, geo.Epoch, time.Minute, 1); err == nil {
+		t.Errorf("single snapshot must fail")
+	}
+	if _, err := CrossShellChurn(c, 0, 1, geo.Epoch, 0, 10); err == nil {
+		t.Errorf("zero step must fail")
+	}
+}

@@ -1,0 +1,141 @@
+package constellation
+
+import (
+	"math"
+	"time"
+
+	"leosim/internal/geo"
+)
+
+// ISL is a static point-to-point laser link between two satellites,
+// identified by constellation-wide indices with A < B.
+type ISL struct {
+	A, B int
+}
+
+// plusGrid builds the standard +Grid ISL topology (§2): each satellite links
+// to its two neighbours in the same orbit and to the satellite in the same
+// slot of each adjacent plane, yielding 4 ISLs per satellite. Links are
+// intra-shell only.
+func plusGrid(c *Constellation, omitSeam bool) []ISL {
+	var isls []ISL
+	for si, sh := range c.Shells {
+		for plane := 0; plane < sh.Planes; plane++ {
+			for slot := 0; slot < sh.SatsPerPlane; slot++ {
+				a := c.SatIndex(si, plane, slot)
+				// Intra-plane: successor in the same orbit (ring).
+				if sh.SatsPerPlane > 1 {
+					b := c.SatIndex(si, plane, (slot+1)%sh.SatsPerPlane)
+					if a != b {
+						isls = append(isls, orderISL(a, b))
+					}
+				}
+				// Cross-plane: same slot, next plane (ring over planes).
+				if sh.Planes > 1 {
+					next := plane + 1
+					tgtSlot := slot
+					if next == sh.Planes {
+						if omitSeam || sh.RAANSpreadDeg < 360 {
+							continue
+						}
+						next = 0
+						// Wrapping the plane ring accumulates a
+						// mean-anomaly shift of exactly WalkerF slot
+						// spacings; connect to the slot that absorbs it
+						// so seam links stay as short as interior ones.
+						tgtSlot = ((slot+sh.WalkerF)%sh.SatsPerPlane + sh.SatsPerPlane) % sh.SatsPerPlane
+					}
+					b := c.SatIndex(si, next, tgtSlot)
+					if a != b {
+						isls = append(isls, orderISL(a, b))
+					}
+				}
+			}
+		}
+	}
+	return dedupISLs(isls)
+}
+
+func orderISL(a, b int) ISL {
+	if a > b {
+		a, b = b, a
+	}
+	return ISL{A: a, B: b}
+}
+
+func dedupISLs(in []ISL) []ISL {
+	seen := make(map[ISL]struct{}, len(in))
+	out := in[:0]
+	for _, l := range in {
+		if _, ok := seen[l]; ok {
+			continue
+		}
+		seen[l] = struct{}{}
+		out = append(out, l)
+	}
+	return out
+}
+
+// ISLLengthKm returns the instantaneous length of ISL l at snapshot s.
+func ISLLengthKm(s Snapshot, l ISL) float64 {
+	return s.Pos[l.A].Distance(s.Pos[l.B])
+}
+
+// ISLMinAltitudeKm returns the minimum altitude above the (spherical) Earth
+// surface reached by the straight-line link l at snapshot s. ISLs must stay
+// above the lower atmosphere (~80 km, §2) to be unaffected by weather.
+func ISLMinAltitudeKm(s Snapshot, l ISL) float64 {
+	return chordMinAltitude(s.Pos[l.A], s.Pos[l.B])
+}
+
+// chordMinAltitude computes the minimum distance from the Earth's center to
+// the segment a-b, minus the Earth radius.
+func chordMinAltitude(a, b geo.Vec3) float64 {
+	ab := b.Sub(a)
+	den := ab.Norm2()
+	if den == 0 {
+		return a.Norm() - geo.EarthRadius
+	}
+	// Parameter of the closest point on the infinite line to the origin.
+	t := -a.Dot(ab) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	closest := a.Add(ab.Scale(t))
+	return closest.Norm() - geo.EarthRadius
+}
+
+// ISLStats summarizes the geometry of a constellation's ISLs at an instant.
+type ISLStats struct {
+	Count                  int
+	MinKm, MaxKm, MeanKm   float64
+	MinLinkAltitudeKm      float64
+	LinksBelowAtmosphereKm int // links dipping below 80 km
+}
+
+// StatsAt computes ISL geometry statistics for snapshot s.
+func (c *Constellation) StatsAt(t time.Time) ISLStats {
+	s := c.SnapshotAt(t)
+	st := ISLStats{MinKm: math.Inf(1), MinLinkAltitudeKm: math.Inf(1)}
+	var sum float64
+	for _, l := range c.ISLs {
+		d := ISLLengthKm(s, l)
+		sum += d
+		st.MinKm = math.Min(st.MinKm, d)
+		st.MaxKm = math.Max(st.MaxKm, d)
+		alt := ISLMinAltitudeKm(s, l)
+		st.MinLinkAltitudeKm = math.Min(st.MinLinkAltitudeKm, alt)
+		if alt < 80 {
+			st.LinksBelowAtmosphereKm++
+		}
+	}
+	st.Count = len(c.ISLs)
+	if st.Count > 0 {
+		st.MeanKm = sum / float64(st.Count)
+	} else {
+		st.MinKm, st.MinLinkAltitudeKm = 0, 0
+	}
+	return st
+}

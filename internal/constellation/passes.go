@@ -1,0 +1,127 @@
+package constellation
+
+import (
+	"fmt"
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+// Pass is one contact window between a ground terminal and a satellite: the
+// interval during which the satellite is at or above the minimum elevation.
+type Pass struct {
+	// AOS and LOS are acquisition and loss of signal.
+	AOS, LOS time.Time
+	// MaxElevationDeg is the peak elevation during the pass.
+	MaxElevationDeg float64
+}
+
+// Duration returns the pass length.
+func (p Pass) Duration() time.Duration { return p.LOS.Sub(p.AOS) }
+
+// PassWindows finds the contact windows of one satellite (via its
+// propagator) over a terminal at pos, scanning [start, start+window] at the
+// given step and refining AOS/LOS to within a second by bisection. §2 of
+// the paper: "Each satellite is reachable from a GT for a few minutes, after
+// which the GT must connect to a different satellite" — the tests pin that.
+func PassWindows(prop orbit.Propagator, pos geo.LatLon, minElevDeg float64,
+	start time.Time, window, step time.Duration) ([]Pass, error) {
+	if step <= 0 || window <= 0 {
+		return nil, fmt.Errorf("constellation: need positive window and step")
+	}
+	if step > window {
+		return nil, fmt.Errorf("constellation: step %v exceeds window %v", step, window)
+	}
+	obs := pos.ToECEF()
+	elevAt := func(t time.Time) float64 {
+		return geo.Elevation(obs, prop.PositionECEF(t))
+	}
+
+	// refine locates the visibility boundary between lo (below) and hi
+	// (above) — or vice versa — to within a second.
+	refine := func(lo, hi time.Time, rising bool) time.Time {
+		for hi.Sub(lo) > time.Second {
+			mid := lo.Add(hi.Sub(lo) / 2)
+			vis := elevAt(mid) >= minElevDeg
+			if vis == rising {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+
+	var passes []Pass
+	var cur *Pass
+	prevVis := false
+	prevT := start
+	end := start.Add(window)
+	for t := start; !t.After(end); t = t.Add(step) {
+		el := elevAt(t)
+		vis := el >= minElevDeg
+		switch {
+		case vis && !prevVis:
+			aos := t
+			if t.After(start) {
+				aos = refine(prevT, t, true)
+			}
+			cur = &Pass{AOS: aos, LOS: t, MaxElevationDeg: el}
+		case vis && prevVis:
+			if el > cur.MaxElevationDeg {
+				cur.MaxElevationDeg = el
+			}
+			cur.LOS = t
+		case !vis && prevVis:
+			cur.LOS = refine(prevT, t, false)
+			passes = append(passes, *cur)
+			cur = nil
+		}
+		prevVis = vis
+		prevT = t
+	}
+	if cur != nil { // pass still open at window end
+		passes = append(passes, *cur)
+	}
+	return passes, nil
+}
+
+// PassStats summarizes a terminal's contact statistics against a whole
+// constellation over a window.
+type PassStats struct {
+	// Passes counts completed contact windows.
+	Passes int
+	// MeanDuration and MaxDuration describe pass lengths.
+	MeanDuration, MaxDuration time.Duration
+	// MeanVisible is the time-averaged number of simultaneously visible
+	// satellites.
+	MeanVisible float64
+}
+
+// TerminalPassStats scans every satellite of c against a terminal at pos.
+func TerminalPassStats(c *Constellation, pos geo.LatLon, minElevDeg float64,
+	start time.Time, window, step time.Duration) (PassStats, error) {
+	var st PassStats
+	var totalDur time.Duration
+	for _, sat := range c.Sats {
+		passes, err := PassWindows(sat.Prop, pos, minElevDeg, start, window, step)
+		if err != nil {
+			return PassStats{}, err
+		}
+		for _, p := range passes {
+			st.Passes++
+			totalDur += p.Duration()
+			if p.Duration() > st.MaxDuration {
+				st.MaxDuration = p.Duration()
+			}
+		}
+	}
+	if st.Passes > 0 {
+		st.MeanDuration = totalDur / time.Duration(st.Passes)
+	}
+	if window > 0 {
+		st.MeanVisible = totalDur.Seconds() / window.Seconds()
+	}
+	return st, nil
+}

@@ -1,0 +1,125 @@
+package constellation
+
+import (
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/orbit"
+)
+
+func TestPassWindowsSingleSatellite(t *testing.T) {
+	// A satellite passing directly over the terminal's longitude.
+	el := orbit.Circular(550, 53, 0, 0, geo.Epoch)
+	prop := orbit.NewKepler(el)
+	pos := geo.LL(30, 0)
+	passes, err := PassWindows(prop, pos, 25, geo.Epoch, 24*time.Hour, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) == 0 {
+		t.Fatal("no passes in 24 hours — implausible for a 95-minute orbit")
+	}
+	for _, p := range passes {
+		d := p.Duration()
+		// §2: "reachable from a GT for a few minutes". At e=25°/550 km a
+		// pass lasts at most ~4.3 min (chord through the coverage cone).
+		if d <= 0 || d > 5*time.Minute {
+			t.Errorf("pass duration %v outside (0, 5min]", d)
+		}
+		if p.MaxElevationDeg < 25 || p.MaxElevationDeg > 90 {
+			t.Errorf("max elevation %v", p.MaxElevationDeg)
+		}
+		if !p.LOS.After(p.AOS) {
+			t.Errorf("LOS %v not after AOS %v", p.LOS, p.AOS)
+		}
+	}
+	// Consecutive passes are separated (no overlapping windows).
+	for i := 1; i < len(passes); i++ {
+		if passes[i].AOS.Before(passes[i-1].LOS) {
+			t.Errorf("passes overlap")
+		}
+	}
+}
+
+func TestPassWindowsRefinement(t *testing.T) {
+	// AOS/LOS refined to ≈1 s: the elevation at AOS is within a small
+	// tolerance of the threshold.
+	el := orbit.Circular(550, 53, 0, 0, geo.Epoch)
+	prop := orbit.NewKepler(el)
+	pos := geo.LL(30, 0)
+	passes, err := PassWindows(prop, pos, 25, geo.Epoch, 3*time.Hour, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) == 0 {
+		t.Skip("no pass in refinement window")
+	}
+	obs := pos.ToECEF()
+	for _, p := range passes {
+		elAOS := geo.Elevation(obs, prop.PositionECEF(p.AOS))
+		// Elevation changes < 0.2°/s; 1 s refinement → within ~0.3°.
+		if elAOS < 24.5 || elAOS > 26 {
+			t.Errorf("elevation at refined AOS = %v, want ≈25", elAOS)
+		}
+	}
+}
+
+func TestPassWindowsValidation(t *testing.T) {
+	el := orbit.Circular(550, 53, 0, 0, geo.Epoch)
+	prop := orbit.NewKepler(el)
+	if _, err := PassWindows(prop, geo.LL(0, 0), 25, geo.Epoch, 0, time.Second); err == nil {
+		t.Errorf("zero window must fail")
+	}
+	if _, err := PassWindows(prop, geo.LL(0, 0), 25, geo.Epoch, time.Minute, 0); err == nil {
+		t.Errorf("zero step must fail")
+	}
+	if _, err := PassWindows(prop, geo.LL(0, 0), 25, geo.Epoch, time.Minute, time.Hour); err == nil {
+		t.Errorf("step > window must fail")
+	}
+}
+
+func TestTerminalPassStats(t *testing.T) {
+	c, err := New([]Shell{TestShell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := TerminalPassStats(c, geo.LL(40, -75), 25, geo.Epoch, 2*time.Hour, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Passes == 0 {
+		t.Fatal("no passes for a 64-satellite shell in 2 h")
+	}
+	if st.MeanDuration <= 0 || st.MeanDuration > 5*time.Minute {
+		t.Errorf("mean pass duration %v — §2 says 'a few minutes'", st.MeanDuration)
+	}
+	if st.MaxDuration < st.MeanDuration {
+		t.Errorf("max %v below mean %v", st.MaxDuration, st.MeanDuration)
+	}
+	if st.MeanVisible < 0 {
+		t.Errorf("mean visible %v", st.MeanVisible)
+	}
+}
+
+func TestStarlinkPassStatsMatchSection2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shell scan in -short mode")
+	}
+	c, err := New([]Shell{StarlinkPhase1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := TerminalPassStats(c, geo.LL(51.5, -0.13), 25, geo.Epoch, time.Hour, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2's qualitative claims quantified for London: passes last a few
+	// minutes and many satellites are simultaneously visible.
+	if st.MeanDuration < time.Minute || st.MeanDuration > 5*time.Minute {
+		t.Errorf("mean pass = %v, want a few minutes", st.MeanDuration)
+	}
+	if st.MeanVisible < 10 || st.MeanVisible > 30 {
+		t.Errorf("mean visible satellites = %v, want ≈15-20 for Starlink", st.MeanVisible)
+	}
+}

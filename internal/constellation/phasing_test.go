@@ -1,0 +1,66 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+
+	"leosim/internal/geo"
+)
+
+// Property: for any Walker phasing factor F, the +Grid topology (including
+// the seam with its F-slot shift) yields cross-plane ISLs whose lengths stay
+// within a small factor of the interior cross-plane spacing — i.e. the seam
+// absorption works for every F, not just the presets' F=1.
+func TestWalkerPhasingSeamProperty(t *testing.T) {
+	base := Shell{
+		Name: "phasing", Planes: 12, SatsPerPlane: 18,
+		AltitudeKm: 550, InclinationDeg: 53,
+		RAANSpreadDeg: 360, MinElevationDeg: 25,
+	}
+	for _, f := range []int{0, 1, 2, 3, 5} {
+		sh := base
+		sh.WalkerF = f
+		c, err := New([]Shell{sh}, WithISLs())
+		if err != nil {
+			t.Fatalf("F=%d: %v", f, err)
+		}
+		s := c.SnapshotAt(geo.Epoch)
+
+		// Gather cross-plane link lengths, split into seam/interior.
+		var interiorMax, seamMax float64
+		for _, l := range c.ISLs {
+			pa, pb := c.Sats[l.A].Plane, c.Sats[l.B].Plane
+			if pa == pb {
+				continue // intra-plane ring
+			}
+			d := ISLLengthKm(s, l)
+			wrap := (pa == 0 && pb == sh.Planes-1) || (pb == 0 && pa == sh.Planes-1)
+			if wrap {
+				seamMax = math.Max(seamMax, d)
+			} else {
+				interiorMax = math.Max(interiorMax, d)
+			}
+		}
+		if interiorMax == 0 || seamMax == 0 {
+			t.Fatalf("F=%d: missing cross-plane links (interior %v, seam %v)",
+				f, interiorMax, seamMax)
+		}
+		// The seam must not degenerate into trans-constellation chords:
+		// same order of magnitude as interior cross-plane links.
+		if seamMax > 2.5*interiorMax {
+			t.Errorf("F=%d: seam links up to %v km vs interior max %v km — seam shift broken",
+				f, seamMax, interiorMax)
+		}
+		// Degrees stay exactly 4 for every satellite regardless of F.
+		deg := make([]int, c.Size())
+		for _, l := range c.ISLs {
+			deg[l.A]++
+			deg[l.B]++
+		}
+		for i, d := range deg {
+			if d != 4 {
+				t.Fatalf("F=%d: sat %d has degree %d", f, i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"leosim/internal/flow"
+	"leosim/internal/graph"
+)
+
+// BeamPoint is one cell of the beam-limit sweep: aggregate throughput when
+// each satellite can serve at most MaxGSLs terminals simultaneously
+// (0 = unlimited, the paper's §2 assumption).
+type BeamPoint struct {
+	MaxGSLs       int
+	Mode          Mode
+	AggregateGbps float64
+}
+
+// RunBeamSweep quantifies §2's "careful frequency management alleviates
+// interference" assumption: throughput (k=4, max-min fair) as the number of
+// simultaneous beams per satellite is capped. BP leans on many relay GSLs
+// per satellite and degrades first; hybrid needs only first/last hops.
+func RunBeamSweep(s *Sim, caps []int, t time.Time) ([]BeamPoint, error) {
+	var out []BeamPoint
+	for _, beams := range caps {
+		if beams < 0 {
+			return nil, fmt.Errorf("core: negative beam cap %d", beams)
+		}
+		for _, mode := range []Mode{BP, Hybrid} {
+			o := graph.DefaultOptions()
+			o.ISL = mode == Hybrid
+			o.MaxGSLsPerSatellite = beams
+			b, err := graph.NewBuilder(s.Const, s.Seg, s.Fleet, o)
+			if err != nil {
+				return nil, err
+			}
+			n := b.At(t)
+			paths := computePairPaths(s, n, 4)
+			pr := flow.NewNetworkProblem(n, s.SatCapGbps)
+			for _, pp := range paths {
+				for _, p := range pp {
+					if _, err := pr.AddPath(p); err != nil {
+						return nil, err
+					}
+				}
+			}
+			alloc, err := pr.MaxMinFair()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BeamPoint{
+				MaxGSLs: beams, Mode: mode, AggregateGbps: flow.Sum(alloc),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteBeamReport renders the sweep.
+func WriteBeamReport(w io.Writer, points []BeamPoint) {
+	get := func(beams int, m Mode) float64 {
+		for _, p := range points {
+			if p.MaxGSLs == beams && p.Mode == m {
+				return p.AggregateGbps
+			}
+		}
+		return 0
+	}
+	seen := map[int]bool{}
+	for _, p := range points {
+		if seen[p.MaxGSLs] {
+			continue
+		}
+		seen[p.MaxGSLs] = true
+		bp, hy := get(p.MaxGSLs, BP), get(p.MaxGSLs, Hybrid)
+		label := fmt.Sprintf("%d", p.MaxGSLs)
+		if p.MaxGSLs == 0 {
+			label = "∞"
+		}
+		ratio := 0.0
+		if bp > 0 {
+			ratio = hy / bp
+		}
+		fmt.Fprintf(w, "beams %3s per sat: bp %7.0f Gbps, hybrid %7.0f Gbps (%.2fx)\n",
+			label, bp, hy, ratio)
+	}
+}

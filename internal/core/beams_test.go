@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBeamSweep(t *testing.T) {
+	s := getTinySim(t)
+	t0 := s.SnapshotTimes()[0]
+	points, err := RunBeamSweep(s, []int{2, 8, 0}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	get := func(beams int, m Mode) float64 {
+		for _, p := range points {
+			if p.MaxGSLs == beams && p.Mode == m {
+				return p.AggregateGbps
+			}
+		}
+		t.Fatalf("missing point %d/%v", beams, m)
+		return 0
+	}
+	// Starving beams must cost real throughput versus unlimited. (Between
+	// intermediate budgets mild non-monotonicity is possible — restricting
+	// the graph changes which shortest paths the router picks, a
+	// Braess-like artifact — so only the starved-vs-unlimited comparison
+	// is asserted.)
+	for _, m := range []Mode{BP, Hybrid} {
+		if get(2, m) >= get(0, m) {
+			t.Errorf("%v: 2-beam throughput %v not below unlimited %v",
+				m, get(2, m), get(0, m))
+		}
+	}
+	// The starved regime hurts BP relatively more: the hybrid/BP ratio is
+	// at least as high at 2 beams as unlimited.
+	r2 := get(2, Hybrid) / get(2, BP)
+	rInf := get(0, Hybrid) / get(0, BP)
+	if r2 < rInf*0.95 {
+		t.Errorf("beam scarcity should favor hybrid: ratio %v at 2 beams vs %v unlimited", r2, rInf)
+	}
+	var buf bytes.Buffer
+	WriteBeamReport(&buf, points)
+	if !strings.Contains(buf.String(), "beams") || !strings.Contains(buf.String(), "∞") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+	if _, err := RunBeamSweep(s, []int{-1}, t0); err == nil {
+		t.Errorf("negative cap must fail")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+
+	"leosim/internal/graph"
+)
+
+// DisconnectResult is the §5 satellite-utilization statistic: the fraction
+// of satellites entirely disconnected from the rest of the network under BP
+// connectivity, across the day (paper: varies between 25.1% and 31.5% for
+// Starlink).
+type DisconnectResult struct {
+	// FractionPerSnapshot is the disconnected-satellite fraction at each
+	// snapshot.
+	FractionPerSnapshot []float64
+	Min, Max, Mean      float64
+}
+
+// RunDisconnected measures, per snapshot, how many satellites cannot reach
+// the giant (city-containing) component of the BP network — i.e. satellites
+// with no ground terminal in view, useless for networking without ISLs.
+func RunDisconnected(s *Sim) *DisconnectResult {
+	res := &DisconnectResult{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, t := range s.SnapshotTimes() {
+		n := s.NetworkAt(t, BP)
+		frac := disconnectedSatFraction(n)
+		res.FractionPerSnapshot = append(res.FractionPerSnapshot, frac)
+		res.Min = math.Min(res.Min, frac)
+		res.Max = math.Max(res.Max, frac)
+		sum += frac
+	}
+	res.Mean = sum / float64(len(res.FractionPerSnapshot))
+	return res
+}
+
+func disconnectedSatFraction(n *graph.Network) float64 {
+	comp, _ := n.Components()
+	// The "network" component is the one holding the most cities.
+	cityCount := map[int32]int{}
+	for i := 0; i < n.NumCity; i++ {
+		cityCount[comp[n.CityNode(i)]]++
+	}
+	main := int32(-1)
+	best := -1
+	for c, cnt := range cityCount {
+		if cnt > best {
+			best, main = cnt, c
+		}
+	}
+	isolated := 0
+	for i := 0; i < n.NumSat; i++ {
+		if comp[i] != main {
+			isolated++
+		}
+	}
+	return float64(isolated) / float64(n.NumSat)
+}

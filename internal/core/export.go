@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONEnvelope wraps an experiment result with enough metadata to interpret
+// it standalone (which constellation, which scale, which experiment).
+type JSONEnvelope struct {
+	Tool          string      `json:"tool"`
+	Paper         string      `json:"paper"`
+	Experiment    string      `json:"experiment"`
+	Constellation string      `json:"constellation"`
+	Scale         string      `json:"scale"`
+	Data          interface{} `json:"data"`
+}
+
+// WriteJSON emits an experiment result as an indented JSON envelope.
+func WriteJSON(w io.Writer, experiment string, s *Sim, data interface{}) error {
+	env := JSONEnvelope{
+		Tool:       "leosim",
+		Paper:      "Hauri et al., 'Internet from Space' without Inter-satellite Links?, HotNets 2020",
+		Experiment: experiment,
+		Data:       data,
+	}
+	if s != nil {
+		env.Constellation = s.Choice.String()
+		env.Scale = s.Scale.Name
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("core: encoding %s result: %w", experiment, err)
+	}
+	return nil
+}
+
+// MarshalJSON renders the per-mode maps with readable keys.
+func (r *LatencyResult) MarshalJSON() ([]byte, error) {
+	type modeSeries struct {
+		BP     []float64 `json:"bp"`
+		Hybrid []float64 `json:"hybrid"`
+	}
+	med, p95 := r.Headline()
+	return json.Marshal(struct {
+		MinRTTMs             modeSeries `json:"minRttMs"`
+		RangeRTTMs           modeSeries `json:"rangeRttMs"`
+		ReachablePairs       int        `json:"reachablePairs"`
+		Excluded             int        `json:"excludedPairs"`
+		MaxMinRTTGapMs       float64    `json:"maxMinRttGapMs"`
+		MedianVariationIncPc float64    `json:"medianVariationIncreasePct"`
+		P95VariationIncPc    float64    `json:"p95VariationIncreasePct"`
+	}{
+		MinRTTMs:             modeSeries{BP: r.MinRTT[BP], Hybrid: r.MinRTT[Hybrid]},
+		RangeRTTMs:           modeSeries{BP: r.RangeRTT[BP], Hybrid: r.RangeRTT[Hybrid]},
+		ReachablePairs:       r.ReachablePairs,
+		Excluded:             r.Excluded,
+		MaxMinRTTGapMs:       r.MaxMinRTTGapMs(),
+		MedianVariationIncPc: med,
+		P95VariationIncPc:    p95,
+	})
+}
+
+// MarshalJSON names the mode and adds derived fields.
+func (r *ThroughputResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mode          string  `json:"mode"`
+		K             int     `json:"k"`
+		AggregateGbps float64 `json:"aggregateGbps"`
+		PathsFound    int     `json:"pathsFound"`
+		PathsMissing  int     `json:"pathsMissing"`
+	}{r.Mode.String(), r.K, r.AggregateGbps, r.PathsFound, r.PathsMissing})
+}
+
+// MarshalJSON names constellation and mode.
+func (r Fig4Row) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Constellation string  `json:"constellation"`
+		Mode          string  `json:"mode"`
+		K             int     `json:"k"`
+		AggregateGbps float64 `json:"aggregateGbps"`
+	}{r.Constellation.String(), r.Mode.String(), r.K, r.AggregateGbps})
+}
+
+// MarshalJSON adds the derived headline numbers to the weather result.
+func (r *WeatherResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		P995BPdB          []float64 `json:"p995BpDb"`
+		P995ISLdB         []float64 `json:"p995IslDb"`
+		PairsUsed         int       `json:"pairsUsed"`
+		MedianAdvantageDB float64   `json:"medianIslAdvantageDb"`
+	}{r.P995BP, r.P995ISL, r.PairsUsed, r.MedianAdvantageDB()})
+}
+
+// MarshalJSON names the modes in the churn map.
+func (r *PathChurnResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		BP        []float64 `json:"bpChangeFrac"`
+		Hybrid    []float64 `json:"hybridChangeFrac"`
+		BPMean    float64   `json:"bpMeanChangeFrac"`
+		HyMean    float64   `json:"hybridMeanChangeFrac"`
+		PairsUsed int       `json:"pairsUsed"`
+	}{
+		BP: r.ChangeFrac[BP], Hybrid: r.ChangeFrac[Hybrid],
+		BPMean: r.MeanChangeFrac(BP), HyMean: r.MeanChangeFrac(Hybrid),
+		PairsUsed: r.PairsUsed,
+	})
+}
+
+// MarshalJSON names the mode and summarizes the load distribution.
+func (r *UtilizationResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mode          string    `json:"mode"`
+		PerSatGbps    []float64 `json:"perSatGbps"`
+		IdleFrac      float64   `json:"idleFrac"`
+		Gini          float64   `json:"gini"`
+		AggregateGbps float64   `json:"aggregateGbps"`
+	}{r.Mode.String(), r.PerSatGbps, r.IdleFrac, r.Gini, r.AggregateGbps})
+}
+
+// MarshalJSON names the mode of a beam-sweep point.
+func (p BeamPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		MaxGSLs       int     `json:"maxGslsPerSat"`
+		Mode          string  `json:"mode"`
+		AggregateGbps float64 `json:"aggregateGbps"`
+	}{p.MaxGSLs, p.Mode.String(), p.AggregateGbps})
+}
+
+// MarshalJSON names the mode of a TE comparison.
+func (r *TEResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mode            string  `json:"mode"`
+		K               int     `json:"k"`
+		ShortestGbps    float64 `json:"shortestGbps"`
+		TEGbps          float64 `json:"teGbps"`
+		ShortestDelayMs float64 `json:"shortestDelayMs"`
+		TEDelayMs       float64 `json:"teDelayMs"`
+		TEMaxUtil       float64 `json:"teMaxUtil"`
+		GainFrac        float64 `json:"gainFrac"`
+	}{r.Mode.String(), r.K, r.ShortestGbps, r.TEGbps,
+		r.ShortestDelayMs, r.TEDelayMs, r.TEMaxUtil, r.ThroughputGainFrac()})
+}
+
+// MarshalJSON renders both exceedance curves plus the 1%-of-time headline.
+func (p *PairWeather) MarshalJSON() ([]byte, error) {
+	bpDB, islDB, bpPow, islPow := p.At1Percent()
+	type curve struct {
+		P []float64 `json:"pPercent"`
+		A []float64 `json:"attenuationDb"`
+	}
+	return json.Marshal(struct {
+		Src         string  `json:"src"`
+		Dst         string  `json:"dst"`
+		BP          curve   `json:"bp"`
+		ISL         curve   `json:"isl"`
+		BPAt1PctDB  float64 `json:"bpAt1pctDb"`
+		ISLAt1PctDB float64 `json:"islAt1pctDb"`
+		BPPower     float64 `json:"bpReceivedPowerFrac"`
+		ISLPower    float64 `json:"islReceivedPowerFrac"`
+	}{
+		Src: p.SrcCity, Dst: p.DstCity,
+		BP:         curve{P: p.BPCurve.P, A: p.BPCurve.A},
+		ISL:        curve{P: p.ISLCurve.P, A: p.ISLCurve.A},
+		BPAt1PctDB: bpDB, ISLAt1PctDB: islDB,
+		BPPower: bpPow, ISLPower: islPow,
+	})
+}

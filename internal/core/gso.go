@@ -1,0 +1,86 @@
+package core
+
+import (
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/ground"
+)
+
+// GSORow quantifies Fig 9 at one latitude: how much of the usable sky the
+// GSO arc-avoidance constraint blocks, and the average number of reachable
+// satellites with and without the constraint.
+type GSORow struct {
+	LatitudeDeg     float64
+	FOVBlockedFrac  float64
+	VisibleSatsFree float64
+	VisibleSatsGSO  float64
+}
+
+// RunGSOArc evaluates the GSO arc-avoidance impact (§7, Fig 9) on this
+// sim's constellation: for terminals at a range of latitudes, the fraction
+// of the ≥minElev sky blocked by the 22° separation rule and the mean count
+// of connectable satellites over sampled snapshots. Fig 9 uses the 40°
+// minimum elevation Starlink plans for full deployment.
+func RunGSOArc(s *Sim, minElevDeg float64, latitudes []float64) []GSORow {
+	policy := ground.StarlinkGSOPolicy()
+	times := s.SnapshotTimes()
+	if len(times) > 8 {
+		times = times[:8]
+	}
+	var rows []GSORow
+	for _, lat := range latitudes {
+		pos := geo.LL(lat, 0)
+		obs := pos.ToECEF()
+		ck := ground.NewGSOChecker(pos, policy)
+		var free, constrained float64
+		for _, t := range times {
+			satPos := s.Const.PositionsECEF(t)
+			for _, sp := range satPos {
+				if geo.Elevation(obs, sp) < minElevDeg {
+					continue
+				}
+				free++
+				if ck.Allowed(sp) {
+					constrained++
+				}
+			}
+		}
+		nT := float64(len(times))
+		rows = append(rows, GSORow{
+			LatitudeDeg:     lat,
+			FOVBlockedFrac:  ground.FOVReduction(lat, minElevDeg, policy),
+			VisibleSatsFree: free / nT,
+			VisibleSatsGSO:  constrained / nT,
+		})
+	}
+	return rows
+}
+
+// GSOConnectivityLoss compares cross-Equatorial BP reachability with and
+// without the GSO constraint: the mean number of connectable satellites for
+// equatorial terminals falls much harder than for mid-latitude ones, which
+// is why BP (whose north–south traffic must transit equatorial GTs) suffers
+// disproportionately (§7).
+func GSOConnectivityLoss(s *Sim, minElevDeg float64, at time.Time) (equatorLossFrac, midLatLossFrac float64) {
+	loss := func(lat float64) float64 {
+		pos := geo.LL(lat, 0)
+		obs := pos.ToECEF()
+		ck := ground.NewGSOChecker(pos, ground.StarlinkGSOPolicy())
+		free, con := 0, 0
+		for _, sp := range s.Const.PositionsECEF(at) {
+			if geo.Elevation(obs, sp) < minElevDeg {
+				continue
+			}
+			free++
+			if ck.Allowed(sp) {
+				con++
+			}
+		}
+		if free == 0 {
+			return 0
+		}
+		return 1 - float64(con)/float64(free)
+	}
+	return loss(0), loss(45)
+}

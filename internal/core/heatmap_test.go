@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHeatmapDelhiSydney(t *testing.T) {
+	scale := TinyScale()
+	scale.NumCities = 150
+	scale.RelaySpacingDeg = 2
+	scale.RelayMaxKm = 2000
+	scale.AircraftDensity = 1
+	scale.NumSnapshots = 2
+	s, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunHeatmap(s, "Delhi", "Sydney", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 10 || len(r.Rows[0]) < 10 {
+		t.Fatalf("map too small: %d×%d", len(r.Rows), len(r.Rows[0]))
+	}
+	// The region spans both endpoints.
+	if r.LatMin > -33.9 || r.LatMax < 28.7 {
+		t.Errorf("latitude span [%v,%v] misses endpoints", r.LatMin, r.LatMax)
+	}
+	// Tropical cells attenuate more than the subtropical corners: find
+	// max and min over the map and require a real gradient.
+	lo, hi := r.Rows[0][0], r.Rows[0][0]
+	for _, row := range r.Rows {
+		for _, a := range row {
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+	}
+	if hi-lo < 1 {
+		t.Errorf("no attenuation gradient across the map: [%v,%v]", lo, hi)
+	}
+	// The BP path has intermediate ground hops; the ISL path has only
+	// its two endpoints.
+	if len(r.BPGroundHops) < 3 {
+		t.Errorf("BP path should zig-zag: %d ground hops", len(r.BPGroundHops))
+	}
+	if len(r.ISLGroundHops) != 2 {
+		t.Errorf("ISL path should touch ground only at endpoints, got %d", len(r.ISLGroundHops))
+	}
+	// Fig 7's point: some BP intermediate hop sits in a worse cell than
+	// both endpoints.
+	worstHop, worstEnd := r.MaxAlongBP()
+	if worstHop <= worstEnd {
+		t.Logf("note: BP hops avoided the wet band this snapshot (%v vs %v)", worstHop, worstEnd)
+	}
+	var buf bytes.Buffer
+	WriteHeatmapReport(&buf, r)
+	out := buf.String()
+	if !strings.Contains(out, "fig7 heatmap") || !strings.Contains(out, "o") {
+		t.Errorf("report missing map or hops:\n%s", out)
+	}
+	if _, err := RunHeatmap(s, "Delhi", "Sydney", 0); err == nil {
+		t.Errorf("zero step must fail")
+	}
+	if _, err := RunHeatmap(s, "Delhi", "Nowhere", 3); err == nil {
+		t.Errorf("unknown city must fail")
+	}
+}

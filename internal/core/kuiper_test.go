@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	kuiperOnce sync.Once
+	kuiperSim  *Sim
+	kuiperErr  error
+)
+
+func getKuiperSim(t *testing.T) *Sim {
+	t.Helper()
+	kuiperOnce.Do(func() {
+		kuiperSim, kuiperErr = NewSim(Kuiper, TinyScale())
+	})
+	if kuiperErr != nil {
+		t.Fatal(kuiperErr)
+	}
+	return kuiperSim
+}
+
+// The paper evaluates both constellations; every headline direction must
+// hold on Kuiper's shell too.
+func TestKuiperLatencyDirection(t *testing.T) {
+	s := getKuiperSim(t)
+	if s.Const.Size() != 1156 {
+		t.Fatalf("Kuiper size = %d", s.Const.Size())
+	}
+	r, err := RunLatency(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.MinRTT[BP] {
+		if r.MinRTT[Hybrid][i] > r.MinRTT[BP][i]+1e-9 {
+			t.Fatalf("pair %d: hybrid min RTT above BP", i)
+		}
+	}
+}
+
+func TestKuiperThroughputDirection(t *testing.T) {
+	s := getKuiperSim(t)
+	t0 := s.SnapshotTimes()[0]
+	bp, err := RunThroughput(s, BP, 4, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := RunThroughput(s, Hybrid, 4, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.AggregateGbps <= bp.AggregateGbps {
+		t.Errorf("Kuiper hybrid %v should beat BP %v", hy.AggregateGbps, bp.AggregateGbps)
+	}
+}
+
+func TestKuiperWeatherDirection(t *testing.T) {
+	s := getKuiperSim(t)
+	r, err := RunWeather(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MedianAdvantageDB() < 0 {
+		t.Errorf("Kuiper ISL weather advantage = %v dB", r.MedianAdvantageDB())
+	}
+}
+
+func TestKuiperDisconnected(t *testing.T) {
+	s := getKuiperSim(t)
+	r := RunDisconnected(s)
+	if r.Mean <= 0 || r.Mean >= 1 {
+		t.Errorf("Kuiper stranded fraction %v", r.Mean)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"leosim/internal/linkbudget"
+	"leosim/internal/stats"
+)
+
+// ModcodResult extends §6 to capacity: the fraction of clear-sky link rate
+// an adaptive DVB-S2-style MODCOD retains under each path's worst-link
+// attenuation (at the 99.5th percentile of time), for BP vs ISL paths. This
+// quantifies the paper's remark that attenuation "trades off bandwidth for
+// reliability".
+type ModcodResult struct {
+	// RetentionBP and RetentionISL are per-pair capacity retention
+	// fractions in [0,1].
+	RetentionBP, RetentionISL []float64
+	// OutageBP and OutageISL count pairs whose worst link cannot close at
+	// all (retention 0).
+	OutageBP, OutageISL int
+}
+
+// RunWeatherCapacity converts the Fig 6 attenuation comparison into a
+// capacity comparison using the calibrated Starlink Ku budget. The slant
+// range is taken at the shell's maximum (conservative: every link evaluated
+// at its weakest geometry).
+func RunWeatherCapacity(s *Sim) (*ModcodResult, error) {
+	weather, err := RunWeather(s)
+	if err != nil {
+		return nil, err
+	}
+	budget := linkbudget.StarlinkKuBudget()
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	maxRange := s.Choice.Shell().MaxGSLKm()
+	res := &ModcodResult{}
+	for i := range weather.P995BP {
+		rb := budget.CapacityRetention(maxRange, weather.P995BP[i])
+		ri := budget.CapacityRetention(maxRange, weather.P995ISL[i])
+		res.RetentionBP = append(res.RetentionBP, rb)
+		res.RetentionISL = append(res.RetentionISL, ri)
+		if rb == 0 {
+			res.OutageBP++
+		}
+		if ri == 0 {
+			res.OutageISL++
+		}
+	}
+	if len(res.RetentionBP) == 0 {
+		return nil, fmt.Errorf("core: no pairs for capacity analysis")
+	}
+	return res, nil
+}
+
+// MedianRetention returns the medians of both distributions.
+func (r *ModcodResult) MedianRetention() (bp, isl float64) {
+	return stats.Percentile(r.RetentionBP, 50), stats.Percentile(r.RetentionISL, 50)
+}
+
+// WriteModcodReport renders the capacity-retention comparison.
+func WriteModcodReport(w io.Writer, r *ModcodResult) {
+	bp, isl := r.MedianRetention()
+	fmt.Fprintf(w, "modcod capacity retention at 99.5th-pct weather:\n")
+	fmt.Fprintf(w, "  bp : median %.0f%%  [%s]\n", bp*100, stats.Summarize(r.RetentionBP))
+	fmt.Fprintf(w, "  isl: median %.0f%%  [%s]\n", isl*100, stats.Summarize(r.RetentionISL))
+	fmt.Fprintf(w, "  outages: bp %d, isl %d (of %d pairs)\n",
+		r.OutageBP, r.OutageISL, len(r.RetentionBP))
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWeatherCapacity(t *testing.T) {
+	s := getTinySim(t)
+	r, err := RunWeatherCapacity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RetentionBP) == 0 || len(r.RetentionBP) != len(r.RetentionISL) {
+		t.Fatalf("lengths: %d vs %d", len(r.RetentionBP), len(r.RetentionISL))
+	}
+	for i := range r.RetentionBP {
+		if r.RetentionBP[i] < 0 || r.RetentionBP[i] > 1 ||
+			r.RetentionISL[i] < 0 || r.RetentionISL[i] > 1 {
+			t.Fatalf("retention out of [0,1] at %d", i)
+		}
+	}
+	// §6 direction, translated to capacity: ISL paths retain at least as
+	// much of their clear-sky rate as BP paths, on the median.
+	bp, isl := r.MedianRetention()
+	if isl < bp {
+		t.Errorf("ISL median retention %v below BP %v", isl, bp)
+	}
+	// At Ku band with a 16 dB budget nobody should be in full outage.
+	if r.OutageISL > r.OutageBP {
+		t.Errorf("ISL outages %d exceed BP %d", r.OutageISL, r.OutageBP)
+	}
+	var buf bytes.Buffer
+	WriteModcodReport(&buf, r)
+	if !strings.Contains(buf.String(), "capacity retention") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithMinElevationOption(t *testing.T) {
+	scale := TinyScale()
+	scale.NumSnapshots = 1
+	base, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := NewSim(Starlink, scale, WithMinElevation(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := base.SnapshotTimes()[0]
+	nb := len(base.NetworkAt(t0, BP).Links)
+	ns := len(strict.NetworkAt(t0, BP).Links)
+	if ns >= nb {
+		t.Errorf("40° min elevation should remove GSLs: %d vs %d", ns, nb)
+	}
+}
+
+func TestWithSGP4PropagationOption(t *testing.T) {
+	scale := TinyScale()
+	scale.NumSnapshots = 1
+	kep, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgp, err := NewSim(Starlink, scale, WithSGP4Propagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := kep.SnapshotTimes()[0]
+	// Positions differ slightly (J2 short-period terms) but the networks
+	// remain structurally comparable.
+	pk := kep.Const.PositionsECEF(t0)
+	ps := sgp.Const.PositionsECEF(t0)
+	var maxD float64
+	for i := range pk {
+		if d := pk[i].Distance(ps[i]); d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		t.Errorf("SGP4 option had no effect")
+	}
+	if maxD > 100 {
+		t.Errorf("SGP4 vs Kepler diverged %v km at epoch+0 — implausible", maxD)
+	}
+	if r, err := RunThroughput(sgp, Hybrid, 1, t0); err != nil || r.AggregateGbps <= 0 {
+		t.Errorf("SGP4-propagated sim cannot run experiments: %v %v", r, err)
+	}
+}
+
+func TestPctIncrease(t *testing.T) {
+	if v := pctIncrease(100, 180); v != 80 {
+		t.Errorf("pctIncrease(100,180) = %v", v)
+	}
+	if v := pctIncrease(0, 0); v != 0 {
+		t.Errorf("pctIncrease(0,0) = %v", v)
+	}
+	if v := pctIncrease(0, 5); !math.IsInf(v, 1) {
+		t.Errorf("pctIncrease(0,5) = %v, want +Inf", v)
+	}
+	if v := pctIncrease(-1, 5); !math.IsInf(v, 1) {
+		t.Errorf("pctIncrease(-1,5) = %v, want +Inf", v)
+	}
+}
+
+func TestTEGainFracEdge(t *testing.T) {
+	r := &TEResult{ShortestGbps: 0, TEGbps: 5}
+	if r.ThroughputGainFrac() != 0 {
+		t.Errorf("zero baseline gain should be 0")
+	}
+	r = &TEResult{ShortestGbps: 100, TEGbps: 110}
+	if g := r.ThroughputGainFrac(); math.Abs(g-0.1) > 1e-12 {
+		t.Errorf("gain = %v", g)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"leosim/internal/graph"
+	"leosim/internal/ground"
+)
+
+// HopTrace describes one snapshot's path between a city pair.
+type HopTrace struct {
+	Time  time.Time
+	RTTMs float64
+	Hops  int
+	// AircraftHops counts intermediate aircraft relays; RelayHops counts
+	// grid relays; CityHops counts intermediate city GTs.
+	AircraftHops, RelayHops, CityHops int
+	// Route is a compact rendering of the hop sequence.
+	Route string
+	// Reachable is false when the pair was disconnected at this snapshot.
+	Reachable bool
+}
+
+// PathTraceResult is the Fig 3 output: the BP path between one city pair
+// across the day, showing how it flaps with aircraft availability.
+type PathTraceResult struct {
+	SrcCity, DstCity string
+	Mode             Mode
+	Traces           []HopTrace
+}
+
+// RunPathTrace traces the path between two named cities across the day under
+// the given mode (§4 Fig 3 uses Maceió→Durban on BP).
+func RunPathTrace(s *Sim, srcName, dstName string, mode Mode) (*PathTraceResult, error) {
+	src, dst := -1, -1
+	for i, c := range s.Cities {
+		if c.Name == srcName {
+			src = i
+		}
+		if c.Name == dstName {
+			dst = i
+		}
+	}
+	if src < 0 || dst < 0 {
+		return nil, fmt.Errorf("core: cities %q/%q not in the %d-city set", srcName, dstName, len(s.Cities))
+	}
+	res := &PathTraceResult{SrcCity: srcName, DstCity: dstName, Mode: mode}
+	for _, t := range s.SnapshotTimes() {
+		n := s.NetworkAt(t, mode)
+		p, okPath := n.ShortestPath(n.CityNode(src), n.CityNode(dst))
+		tr := HopTrace{Time: t, Reachable: okPath}
+		if okPath {
+			tr.RTTMs = p.RTTMs()
+			tr.Hops = p.Hops()
+			tr.Route = renderRoute(n, p)
+			for _, node := range p.Nodes[1 : len(p.Nodes)-1] {
+				switch n.Kind[node] {
+				case graph.NodeAircraft:
+					tr.AircraftHops++
+				case graph.NodeRelay:
+					tr.RelayHops++
+				case graph.NodeCity:
+					tr.CityHops++
+				}
+			}
+		} else {
+			tr.RTTMs = math.Inf(1)
+		}
+		res.Traces = append(res.Traces, tr)
+	}
+	return res, nil
+}
+
+func renderRoute(n *graph.Network, p graph.Path) string {
+	var b strings.Builder
+	for i, node := range p.Nodes {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		switch n.Kind[node] {
+		case graph.NodeSatellite:
+			b.WriteString("s")
+		case graph.NodeAircraft:
+			b.WriteString("✈")
+		case graph.NodeRelay:
+			b.WriteString("r")
+		case graph.NodeCity:
+			b.WriteString("C")
+		}
+	}
+	return b.String()
+}
+
+// RTTInflationMs returns max−min RTT across reachable snapshots (Fig 3
+// reports ≈100 ms for Maceió–Durban under BP).
+func (r *PathTraceResult) RTTInflationMs() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, tr := range r.Traces {
+		if !tr.Reachable {
+			continue
+		}
+		lo = math.Min(lo, tr.RTTMs)
+		hi = math.Max(hi, tr.RTTMs)
+	}
+	if math.IsInf(lo, 1) {
+		return math.Inf(1)
+	}
+	return hi - lo
+}
+
+// UsesAircraftEver reports whether any snapshot's path transits an aircraft.
+func (r *PathTraceResult) UsesAircraftEver() bool {
+	for _, tr := range r.Traces {
+		if tr.AircraftHops > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureCity adds a named anchor city to the sim's city set if absent, so a
+// trace can target cities outside the top-N population cut. It extends the
+// ground segment terminals accordingly and must be called before any
+// NetworkAt (it does not invalidate built networks).
+func (s *Sim) EnsureCity(name string) error {
+	for _, c := range s.Cities {
+		if c.Name == name {
+			return nil
+		}
+	}
+	c, err := ground.CityByName(name)
+	if err != nil {
+		return err
+	}
+	// Append as a city terminal; it participates as source/sink/transit.
+	s.Cities = append(s.Cities, c)
+	s.Seg.Cities = s.Cities
+	id := len(s.Seg.Terminals)
+	// City terminals must stay contiguous before relays: rebuild the
+	// terminal list with the new city inserted after the existing cities.
+	terms := make([]ground.Terminal, 0, len(s.Seg.Terminals)+1)
+	terms = append(terms, s.Seg.Terminals[:s.Seg.NumCity]...)
+	terms = append(terms, ground.NewTerminal(s.Seg.NumCity, ground.KindCity, c.Name, c.Position(), s.Seg.NumCity))
+	for _, t := range s.Seg.Terminals[s.Seg.NumCity:] {
+		t.ID++
+		terms = append(terms, t)
+	}
+	s.Seg.Terminals = terms
+	s.Seg.NumCity++
+	_ = id
+	// Invalidate cached networks: node layout changed.
+	s.mu.Lock()
+	s.cache = map[cacheKey]*graph.Network{}
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"leosim/internal/stats"
+)
+
+// WriteLatencyReport renders the Fig 2 results: summary rows plus CDF series
+// for minimum RTT (2a) and RTT range (2b).
+func WriteLatencyReport(w io.Writer, r *LatencyResult, cdfPoints int) {
+	minBP, minHy, rngBP, rngHy := r.Summaries()
+	fmt.Fprintf(w, "pairs=%d excluded=%d\n", r.ReachablePairs, r.Excluded)
+	fmt.Fprintf(w, "fig2a min-RTT (ms):   bp[%s]\n", minBP)
+	fmt.Fprintf(w, "fig2a min-RTT (ms): hybr[%s]\n", minHy)
+	fmt.Fprintf(w, "fig2a max BP-hybrid gap: %.1f ms\n", r.MaxMinRTTGapMs())
+	fmt.Fprintf(w, "fig2b RTT-range (ms):   bp[%s]\n", rngBP)
+	fmt.Fprintf(w, "fig2b RTT-range (ms): hybr[%s]\n", rngHy)
+	med, p95 := r.Headline()
+	fmt.Fprintf(w, "headline: eschewing ISLs raises RTT variation by %.0f%% (median), %.0f%% (95th-p)\n", med, p95)
+	writeCDF(w, "fig2a-cdf bp", r.MinRTT[BP], cdfPoints)
+	writeCDF(w, "fig2a-cdf hybrid", r.MinRTT[Hybrid], cdfPoints)
+	writeCDF(w, "fig2b-cdf bp", r.RangeRTT[BP], cdfPoints)
+	writeCDF(w, "fig2b-cdf hybrid", r.RangeRTT[Hybrid], cdfPoints)
+}
+
+func writeCDF(w io.Writer, label string, xs []float64, points int) {
+	if points <= 0 {
+		return
+	}
+	cdf := stats.CDF(xs)
+	if len(cdf) == 0 {
+		return
+	}
+	stride := len(cdf) / points
+	if stride < 1 {
+		stride = 1
+	}
+	fmt.Fprintf(w, "%s:", label)
+	for i := 0; i < len(cdf); i += stride {
+		fmt.Fprintf(w, " (%.1f,%.3f)", cdf[i].X, cdf[i].F)
+	}
+	fmt.Fprintf(w, " (%.1f,1.000)\n", cdf[len(cdf)-1].X)
+}
+
+// WriteFig4Report renders the throughput table with the paper's derived
+// ratios: hybrid/BP improvement per k, and the multipath gain per mode.
+func WriteFig4Report(w io.Writer, rows []Fig4Row) {
+	get := func(m Mode, k int) float64 {
+		for _, r := range rows {
+			if r.Mode == m && r.K == k {
+				return r.AggregateGbps
+			}
+		}
+		return 0
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "fig4 %s %-6s k=%d: %8.0f Gbps\n",
+			r.Constellation, r.Mode, r.K, r.AggregateGbps)
+	}
+	if b1, h1 := get(BP, 1), get(Hybrid, 1); b1 > 0 {
+		fmt.Fprintf(w, "fig4 hybrid/bp k=1: %.2fx\n", h1/b1)
+	}
+	if b4, h4 := get(BP, 4), get(Hybrid, 4); b4 > 0 {
+		fmt.Fprintf(w, "fig4 hybrid/bp k=4: %.2fx\n", h4/b4)
+	}
+	if b1, b4 := get(BP, 1), get(BP, 4); b1 > 0 {
+		fmt.Fprintf(w, "fig4 multipath gain bp: %.2fx\n", b4/b1)
+	}
+	if h1, h4 := get(Hybrid, 1), get(Hybrid, 4); h1 > 0 {
+		fmt.Fprintf(w, "fig4 multipath gain hybrid: %.2fx\n", h4/h1)
+	}
+}
+
+// WriteFig5Report renders the ISL capacity sweep.
+func WriteFig5Report(w io.Writer, points []Fig5Point, bpGbps float64) {
+	fmt.Fprintf(w, "fig5 bp baseline (k=4): %8.0f Gbps\n", bpGbps)
+	for _, p := range points {
+		ratio := 0.0
+		if bpGbps > 0 {
+			ratio = p.AggregateGbps / bpGbps
+		}
+		fmt.Fprintf(w, "fig5 isl=%.1fx gsl: %8.0f Gbps (%.2fx bp)\n",
+			p.ISLCapRatio, p.AggregateGbps, ratio)
+	}
+}
+
+// WriteWeatherReport renders Fig 6.
+func WriteWeatherReport(w io.Writer, r *WeatherResult, cdfPoints int) {
+	fmt.Fprintf(w, "pairs=%d\n", r.PairsUsed)
+	fmt.Fprintf(w, "fig6 99.5th-pct attenuation (dB):  bp[%s]\n", stats.Summarize(r.P995BP))
+	fmt.Fprintf(w, "fig6 99.5th-pct attenuation (dB): isl[%s]\n", stats.Summarize(r.P995ISL))
+	fmt.Fprintf(w, "fig6 median ISL advantage: %.2f dB\n", r.MedianAdvantageDB())
+	writeCDF(w, "fig6-cdf bp", r.P995BP, cdfPoints)
+	writeCDF(w, "fig6-cdf isl", r.P995ISL, cdfPoints)
+}
+
+// WritePairWeatherReport renders Fig 8.
+func WritePairWeatherReport(w io.Writer, p *PairWeather) {
+	fmt.Fprintf(w, "fig8 %s–%s attenuation exceedance:\n", p.SrcCity, p.DstCity)
+	fmt.Fprintf(w, "  p%%      bp(dB)  isl(dB)\n")
+	for i, pp := range p.BPCurve.P {
+		fmt.Fprintf(w, "  %-6.2f %7.2f %8.2f\n", pp, p.BPCurve.A[i], p.ISLCurve.A[i])
+	}
+	bpDB, islDB, bpPow, islPow := p.At1Percent()
+	fmt.Fprintf(w, "fig8 at 1%% of time: bp %.1f dB (%.0f%% power) vs isl %.1f dB (%.0f%% power)\n",
+		bpDB, bpPow*100, islDB, islPow*100)
+	if bpPow > 0 {
+		fmt.Fprintf(w, "fig8 ISL reduces weather power loss by %.0f%%\n",
+			(islPow-bpPow)/islPow*100)
+	}
+}
+
+// WriteTEReport renders the traffic-engineering comparison.
+func WriteTEReport(w io.Writer, r *TEResult) {
+	fmt.Fprintf(w, "te %s k=%d shortest-delay: %8.0f Gbps at %.2f ms mean path delay\n",
+		r.Mode, r.K, r.ShortestGbps, r.ShortestDelayMs)
+	fmt.Fprintf(w, "te %s k=%d min-max-util:   %8.0f Gbps at %.2f ms mean path delay (max util %.2f)\n",
+		r.Mode, r.K, r.TEGbps, r.TEDelayMs, r.TEMaxUtil)
+	fmt.Fprintf(w, "te throughput gain: %.0f%%; latency cost: %+.2f ms\n",
+		r.ThroughputGainFrac()*100, r.TEDelayMs-r.ShortestDelayMs)
+}
+
+// WriteDisconnectReport renders the §5 disconnected-satellite statistic.
+func WriteDisconnectReport(w io.Writer, r *DisconnectResult) {
+	fmt.Fprintf(w, "disconnected satellites under BP: min=%.1f%% max=%.1f%% mean=%.1f%%\n",
+		r.Min*100, r.Max*100, r.Mean*100)
+}
+
+// WriteGSOReport renders Fig 9.
+func WriteGSOReport(w io.Writer, rows []GSORow) {
+	fmt.Fprintf(w, "fig9 GSO arc avoidance (22° separation):\n")
+	fmt.Fprintf(w, "  lat    FoV-blocked  sats-free  sats-constrained\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %5.1f  %10.1f%%  %9.2f  %16.2f\n",
+			r.LatitudeDeg, r.FOVBlockedFrac*100, r.VisibleSatsFree, r.VisibleSatsGSO)
+	}
+}
+
+// WriteCrossShellReport renders Fig 10.
+func WriteCrossShellReport(w io.Writer, r *CrossShellResult) {
+	ms, frac := r.Improvement()
+	fmt.Fprintf(w, "fig10 %s–%s: single-shell mean RTT %.1f ms, two-shell (BP transition) %.1f ms\n",
+		r.SrcCity, r.DstCity, stats.Mean(r.SingleShellRTTs), stats.Mean(r.TwoShellRTTs))
+	fmt.Fprintf(w, "fig10 improvement: %.1f ms (%.1f%%)\n", ms, frac*100)
+}
+
+// WriteFiberReport renders Fig 11.
+func WriteFiberReport(w io.Writer, r *FiberResult) {
+	fmt.Fprintf(w, "fig11 %s + %d fiber neighbors:\n", r.Metro, len(r.Nearby))
+	fmt.Fprintf(w, "  visible satellites: %.0f alone → %.0f with fiber union\n",
+		r.MetroVisible, r.UnionVisible)
+	fmt.Fprintf(w, "  first-hop capacity: %.0f → %.0f Gbps\n",
+		r.MetroUplinkGbps, r.UnionUplinkGbps)
+	fmt.Fprintf(w, "  metro-sourced egress capacity gain (max-flow): %.0f%%\n",
+		r.ThroughputGainFrac*100)
+}

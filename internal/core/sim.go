@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"leosim/internal/aircraft"
+	"leosim/internal/constellation"
+	"leosim/internal/geo"
+	"leosim/internal/graph"
+	"leosim/internal/ground"
+)
+
+// Sim owns the simulation state for one constellation at one scale: the
+// constellation (with +Grid ISLs generated; whether they are *used* depends
+// on the Mode), the ground segment, the aircraft fleet, and the traffic
+// matrix.
+type Sim struct {
+	Scale  Scale
+	Choice ConstellationChoice
+	Const  *constellation.Constellation
+	Seg    *ground.Segment
+	Fleet  *aircraft.Fleet
+	Cities []ground.City
+	Pairs  []Pair
+
+	// SatCapGbps is the aggregate GSL capacity pool per satellite and
+	// direction (§2: satellites share their up-down capacity across the
+	// GTs they serve). The default 20 Gbps matches §5; 0 disables the
+	// constraint (per-link capacities only — the ablation model).
+	SatCapGbps float64
+
+	builders map[Mode]*graph.Builder
+
+	mu    sync.Mutex
+	cache map[cacheKey]*graph.Network
+}
+
+type cacheKey struct {
+	t    time.Time
+	mode Mode
+}
+
+// SimOption tweaks simulation construction.
+type SimOption func(*simConfig)
+
+type simConfig struct {
+	gso          ground.GSOPolicy
+	elevOverride float64
+	extraShells  []constellation.Shell
+	sgp4         bool
+	satCap       float64
+	satCapSet    bool
+}
+
+// WithSatelliteCapacity sets the per-satellite aggregate GSL capacity pool
+// (per direction); 0 disables the constraint so only per-link capacities
+// apply. The default is the paper's 20 Gbps.
+func WithSatelliteCapacity(gbps float64) SimOption {
+	return func(c *simConfig) { c.satCap, c.satCapSet = gbps, true }
+}
+
+// WithGSOAvoidance applies the §7 GSO arc-avoidance constraint to ground
+// terminals.
+func WithGSOAvoidance(p ground.GSOPolicy) SimOption {
+	return func(c *simConfig) { c.gso = p }
+}
+
+// WithMinElevation overrides each shell's minimum elevation angle.
+func WithMinElevation(deg float64) SimOption {
+	return func(c *simConfig) { c.elevOverride = deg }
+}
+
+// WithExtraShells adds shells beyond the chosen preset (Fig 10).
+func WithExtraShells(shells ...constellation.Shell) SimOption {
+	return func(c *simConfig) { c.extraShells = shells }
+}
+
+// WithSGP4Propagation propagates satellites with SGP4 (ablation).
+func WithSGP4Propagation() SimOption {
+	return func(c *simConfig) { c.sgp4 = true }
+}
+
+// NewSim assembles a simulation.
+func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	var cfg simConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	shells := append([]constellation.Shell{choice.Shell()}, cfg.extraShells...)
+	constOpts := []constellation.Option{constellation.WithISLs()}
+	if cfg.sgp4 {
+		constOpts = append(constOpts, constellation.WithSGP4())
+	}
+	c, err := constellation.New(shells, constOpts...)
+	if err != nil {
+		return nil, err
+	}
+	cities, err := ground.Cities(scale.NumCities)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := ground.NewSegment(cities, scale.RelaySpacingDeg, scale.RelayMaxKm)
+	if err != nil {
+		return nil, err
+	}
+	var fleet *aircraft.Fleet
+	if scale.AircraftDensity > 0 {
+		fleet, err = aircraft.NewFleet(scale.AircraftDensity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pairs, err := SamplePairs(cities, scale.NumPairs, scale.MinPairKm, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	satCap := 20.0
+	if cfg.satCapSet {
+		satCap = cfg.satCap
+	}
+	s := &Sim{
+		Scale:      scale,
+		SatCapGbps: satCap,
+		Choice:     choice,
+		Const:      c,
+		Seg:        seg,
+		Fleet:      fleet,
+		Cities:     cities,
+		Pairs:      pairs,
+		builders:   map[Mode]*graph.Builder{},
+		cache:      map[cacheKey]*graph.Network{},
+	}
+	for _, mode := range []Mode{BP, Hybrid} {
+		o := graph.DefaultOptions()
+		o.ISL = mode == Hybrid
+		o.GSO = cfg.gso
+		o.MinElevationOverrideDeg = cfg.elevOverride
+		b, err := graph.NewBuilder(c, seg, fleet, o)
+		if err != nil {
+			return nil, err
+		}
+		s.builders[mode] = b
+	}
+	return s, nil
+}
+
+// SnapshotTimes returns the simulated-day sampling instants.
+func (s *Sim) SnapshotTimes() []time.Time {
+	out := make([]time.Time, s.Scale.NumSnapshots)
+	for i := range out {
+		out[i] = geo.Epoch.Add(time.Duration(i) * s.Scale.SnapshotStep)
+	}
+	return out
+}
+
+// NetworkAt returns the (cached) network snapshot for mode at time t.
+func (s *Sim) NetworkAt(t time.Time, mode Mode) *graph.Network {
+	key := cacheKey{t: t, mode: mode}
+	s.mu.Lock()
+	if n, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	n := s.builders[mode].At(t)
+	s.mu.Lock()
+	// Keep the cache bounded: one network per (snapshot, mode) is fine at
+	// reduced scale but too large at full scale; evict everything once it
+	// exceeds a handful of entries.
+	if len(s.cache) >= 8 {
+		s.cache = map[cacheKey]*graph.Network{}
+	}
+	s.cache[key] = n
+	s.mu.Unlock()
+	return n
+}
+
+// WithISLCapacity rebuilds the Hybrid builder with a different ISL capacity
+// (Fig 5). It returns an error if the sim has no hybrid builder.
+func (s *Sim) WithISLCapacity(gbps float64) error {
+	o := graph.DefaultOptions()
+	o.ISL = true
+	o.ISLCapGbps = gbps
+	b, err := graph.NewBuilder(s.Const, s.Seg, s.Fleet, o)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.builders[Hybrid] = b
+	s.cache = map[cacheKey]*graph.Network{}
+	s.mu.Unlock()
+	return nil
+}
+
+// pairRTTs computes, for one snapshot network, the round-trip time in ms for
+// every pair (indexed like s.Pairs). Unreachable pairs get +Inf. noGround
+// restricts transit to satellites (used by the §6 "pure ISL path" model).
+func (s *Sim) pairRTTs(n *graph.Network, noGroundTransit bool) []float64 {
+	bySrc := map[int][]int{}
+	for pi, p := range s.Pairs {
+		bySrc[p.Src] = append(bySrc[p.Src], pi)
+	}
+	sources := make([]int, 0, len(bySrc))
+	for src := range bySrc {
+		sources = append(sources, src)
+	}
+	out := make([]float64, len(s.Pairs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var dist []float64
+			if noGroundTransit {
+				dist, _ = n.DijkstraExpand(n.CityNode(src), nil,
+					func(v int32) bool { return !n.IsGroundSide(v) })
+			} else {
+				dist, _ = n.Dijkstra(n.CityNode(src), nil)
+			}
+			for _, pi := range bySrc[src] {
+				out[pi] = 2 * dist[n.CityNode(s.Pairs[pi].Dst)]
+			}
+		}(src)
+	}
+	wg.Wait()
+	return out
+}
+
+// String summarizes the sim.
+func (s *Sim) String() string {
+	return fmt.Sprintf("%s/%s: %d sats, %d cities, %d relays, %d pairs, %d snapshots",
+		s.Choice, s.Scale.Name, s.Const.Size(), s.Seg.NumCity, s.Seg.NumRelay,
+		len(s.Pairs), s.Scale.NumSnapshots)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leosim/internal/flow"
+	"leosim/internal/graph"
+)
+
+// ThroughputResult holds one §5 data point: the max-min fair aggregate
+// throughput of the 5,000-pair traffic matrix.
+type ThroughputResult struct {
+	Mode Mode
+	K    int
+	// AggregateGbps is the sum of all flow allocations (Fig 4's bars).
+	AggregateGbps float64
+	// PathsFound is the total number of sub-flows that got a path;
+	// PathsMissing counts pair-slots with no (further) disjoint path.
+	PathsFound, PathsMissing int
+}
+
+// RunThroughput computes aggregate throughput for the given mode and
+// multipath degree k at snapshot time t, routing each pair over its k
+// edge-disjoint shortest paths and applying max-min fair allocation
+// (the floodns-style routed-flow model of §5).
+func RunThroughput(s *Sim, mode Mode, k int, t time.Time) (*ThroughputResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	n := s.NetworkAt(t, mode)
+	paths := computePairPaths(s, n, k)
+	pr := flow.NewNetworkProblem(n, s.SatCapGbps)
+	res := &ThroughputResult{Mode: mode, K: k}
+	for _, pp := range paths {
+		res.PathsFound += len(pp)
+		res.PathsMissing += k - len(pp)
+		for _, p := range pp {
+			if _, err := pr.AddPath(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	alloc, err := pr.MaxMinFair()
+	if err != nil {
+		return nil, err
+	}
+	res.AggregateGbps = flow.Sum(alloc)
+	return res, nil
+}
+
+// Progress, when non-nil, receives coarse progress lines from long-running
+// experiment phases (the CLI points it at stderr for full-scale runs).
+var Progress io.Writer
+
+var progressMu sync.Mutex
+
+func progressf(format string, args ...interface{}) {
+	if Progress == nil {
+		return
+	}
+	progressMu.Lock()
+	fmt.Fprintf(Progress, format, args...)
+	progressMu.Unlock()
+}
+
+// computePairPaths finds k edge-disjoint shortest paths per pair, in
+// parallel across pairs.
+func computePairPaths(s *Sim, n *graph.Network, k int) [][]graph.Path {
+	out := make([][]graph.Path, len(s.Pairs))
+	var wg sync.WaitGroup
+	var done int64
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for pi := range s.Pairs {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := s.Pairs[pi]
+			out[pi] = n.KDisjointPaths(n.CityNode(p.Src), n.CityNode(p.Dst), k)
+			if d := atomic.AddInt64(&done, 1); d%1000 == 0 {
+				progressf("  ... %d/%d pairs routed\n", d, len(s.Pairs))
+			}
+		}(pi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Fig4Row is one row of the Fig 4 table: a constellation × mode × k cell.
+type Fig4Row struct {
+	Constellation ConstellationChoice
+	Mode          Mode
+	K             int
+	AggregateGbps float64
+}
+
+// RunFig4 evaluates the full Fig 4 matrix on this sim's constellation:
+// {BP, Hybrid} × {k=1, k=4} at the first snapshot.
+func RunFig4(s *Sim) ([]Fig4Row, error) {
+	t := s.SnapshotTimes()[0]
+	var rows []Fig4Row
+	for _, mode := range []Mode{BP, Hybrid} {
+		for _, k := range []int{1, 4} {
+			r, err := RunThroughput(s, mode, k, t)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig4Row{
+				Constellation: s.Choice, Mode: mode, K: k,
+				AggregateGbps: r.AggregateGbps,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Point is one point of the Fig 5 sweep: hybrid throughput as ISL
+// capacity varies relative to the 20 Gbps GSL capacity.
+type Fig5Point struct {
+	ISLCapRatio   float64 // ISL capacity / GSL capacity
+	AggregateGbps float64
+}
+
+// RunFig5 sweeps ISL capacity over ratio×GSL for k=4 on the hybrid network
+// (Fig 5), and also returns the BP baseline at k=4. Paths are shortest-delay
+// and therefore capacity-independent, so they are computed once and the
+// allocation re-run per capacity point.
+func RunFig5(s *Sim, ratios []float64) (points []Fig5Point, bpGbps float64, err error) {
+	t := s.SnapshotTimes()[0]
+	const k = 4
+	bp, err := RunThroughput(s, BP, k, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := s.NetworkAt(t, Hybrid)
+	paths := computePairPaths(s, n, k)
+	pr := flow.NewNetworkProblem(n, s.SatCapGbps)
+	for _, pp := range paths {
+		for _, p := range pp {
+			if _, err := pr.AddPath(p); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	const gslCap = 20.0
+	for _, ratio := range ratios {
+		pr.SetISLCapacity(gslCap * ratio)
+		alloc, err := pr.MaxMinFair()
+		if err != nil {
+			return nil, 0, err
+		}
+		points = append(points, Fig5Point{ISLCapRatio: ratio, AggregateGbps: flow.Sum(alloc)})
+	}
+	return points, bp.AggregateGbps, nil
+}

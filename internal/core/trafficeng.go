@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"leosim/internal/flow"
+	"leosim/internal/routing"
+)
+
+// TEResult compares shortest-delay multipath routing (the paper's scheme)
+// against the minimum-maximum-utilization routing §5 leaves to future work,
+// on the same snapshot and traffic matrix.
+type TEResult struct {
+	Mode Mode
+	K    int
+	// ShortestGbps and TEGbps are the max-min aggregate throughputs.
+	ShortestGbps, TEGbps float64
+	// ShortestDelayMs and TEDelayMs are the mean one-way path delays —
+	// the latency price of traffic engineering.
+	ShortestDelayMs, TEDelayMs float64
+	// TEMaxUtil is the nominal max link utilization after TE routing.
+	TEMaxUtil float64
+}
+
+// ThroughputGainFrac returns the relative throughput improvement of TE.
+func (r *TEResult) ThroughputGainFrac() float64 {
+	if r.ShortestGbps <= 0 {
+		return 0
+	}
+	return (r.TEGbps - r.ShortestGbps) / r.ShortestGbps
+}
+
+// RunTrafficEngineering evaluates the §5 prediction: congestion-aware
+// routing raises aggregate throughput over shortest-delay multipath at the
+// cost of longer paths.
+func RunTrafficEngineering(s *Sim, mode Mode, k int, t time.Time) (*TEResult, error) {
+	n := s.NetworkAt(t, mode)
+	res := &TEResult{Mode: mode, K: k}
+
+	// Baseline: shortest-delay k edge-disjoint multipath.
+	basePaths := computePairPaths(s, n, k)
+	basePr := flow.NewNetworkProblem(n, s.SatCapGbps)
+	var delaySum float64
+	var delayN int
+	for _, pp := range basePaths {
+		for _, p := range pp {
+			if _, err := basePr.AddPath(p); err != nil {
+				return nil, err
+			}
+			delaySum += p.OneWayMs
+			delayN++
+		}
+	}
+	alloc, err := basePr.MaxMinFair()
+	if err != nil {
+		return nil, err
+	}
+	res.ShortestGbps = flow.Sum(alloc)
+	if delayN > 0 {
+		res.ShortestDelayMs = delaySum / float64(delayN)
+	}
+
+	// TE: congestion-aware routing over the same demands.
+	demands := make([]routing.Demand, len(s.Pairs))
+	for i, pair := range s.Pairs {
+		demands[i] = routing.Demand{
+			Src: n.CityNode(pair.Src), Dst: n.CityNode(pair.Dst), K: k,
+		}
+	}
+	opts := routing.DefaultOptions()
+	asgs, err := routing.MinMaxUtilization(n, demands, opts)
+	if err != nil {
+		return nil, err
+	}
+	tePr := flow.NewNetworkProblem(n, s.SatCapGbps)
+	for _, asg := range asgs {
+		for _, p := range asg.Paths {
+			if _, err := tePr.AddPath(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	teAlloc, err := tePr.MaxMinFair()
+	if err != nil {
+		return nil, err
+	}
+	res.TEGbps = flow.Sum(teAlloc)
+	res.TEDelayMs = routing.MeanPathDelayMs(asgs)
+	res.TEMaxUtil = routing.MaxUtilization(n, asgs, opts.UnitGbps)
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTrafficEngineering(t *testing.T) {
+	s := getTinySim(t)
+	r, err := RunTrafficEngineering(s, Hybrid, 4, s.SnapshotTimes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShortestGbps <= 0 || r.TEGbps <= 0 {
+		t.Fatalf("throughputs must be positive: %+v", r)
+	}
+	// The greedy TE heuristic may win or lose a little at light load, but
+	// must never collapse relative to the baseline.
+	if r.TEGbps < 0.8*r.ShortestGbps {
+		t.Errorf("TE throughput %v collapsed vs shortest %v", r.TEGbps, r.ShortestGbps)
+	}
+	// TE spreads load: nominal max utilization stays finite and sane.
+	if r.TEMaxUtil <= 0 || math.IsInf(r.TEMaxUtil, 1) {
+		t.Errorf("max utilization = %v", r.TEMaxUtil)
+	}
+	// TE never shortens paths below the delay-optimal baseline.
+	if r.TEDelayMs < r.ShortestDelayMs-1e-9 {
+		t.Errorf("TE mean delay %v below shortest-path %v — impossible",
+			r.TEDelayMs, r.ShortestDelayMs)
+	}
+	if g := r.ThroughputGainFrac(); g < -0.2 || g > 10 {
+		t.Errorf("gain fraction %v out of band", g)
+	}
+	var buf bytes.Buffer
+	WriteTEReport(&buf, r)
+	if !strings.Contains(buf.String(), "min-max-util") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUtilization(t *testing.T) {
+	s := getTinySim(t)
+	t0 := s.SnapshotTimes()[0]
+	bp, err := RunUtilization(s, BP, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := RunUtilization(s, Hybrid, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.PerSatGbps) != 1584 || len(hy.PerSatGbps) != 1584 {
+		t.Fatalf("per-sat lengths: %d / %d", len(bp.PerSatGbps), len(hy.PerSatGbps))
+	}
+	// §5: BP leaves a much larger fraction of satellites unused.
+	if bp.IdleFrac <= hy.IdleFrac {
+		t.Errorf("BP idle %v should exceed hybrid idle %v", bp.IdleFrac, hy.IdleFrac)
+	}
+	if bp.IdleFrac < 0.2 {
+		t.Errorf("BP idle fraction %v implausibly low at tiny scale", bp.IdleFrac)
+	}
+	// Gini in [0,1]; load concentrated in both modes but valid.
+	for _, r := range []*UtilizationResult{bp, hy} {
+		if r.Gini < 0 || r.Gini > 1 {
+			t.Errorf("%s Gini = %v", r.Mode, r.Gini)
+		}
+		if r.AggregateGbps <= 0 {
+			t.Errorf("%s aggregate = %v", r.Mode, r.AggregateGbps)
+		}
+		var sum float64
+		for _, g := range r.PerSatGbps {
+			if g < 0 {
+				t.Fatalf("negative satellite load")
+			}
+			sum += g
+		}
+		// Every unit of allocated rate touches ≥1 satellite.
+		if sum < r.AggregateGbps {
+			t.Errorf("%s: satellite-attributed load %v below aggregate %v",
+				r.Mode, sum, r.AggregateGbps)
+		}
+	}
+	var buf bytes.Buffer
+	WriteUtilizationReport(&buf, bp, hy)
+	if !strings.Contains(buf.String(), "idle") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]float64{1, 1, 1, 1}); g > 1e-9 {
+		t.Errorf("uniform Gini = %v, want 0", g)
+	}
+	// All load on one of many: Gini → (n-1)/n.
+	if g := gini([]float64{0, 0, 0, 10}); g < 0.7 {
+		t.Errorf("concentrated Gini = %v, want ≈0.75", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := gini([]float64{0, 0}); g != 0 {
+		t.Errorf("all-zero Gini = %v", g)
+	}
+}
+
+func TestRunPathChurn(t *testing.T) {
+	s := getTinySim(t)
+	r, err := RunPathChurn(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PairsUsed == 0 {
+		t.Fatal("no pairs")
+	}
+	for _, m := range []Mode{BP, Hybrid} {
+		if len(r.ChangeFrac[m]) != r.PairsUsed {
+			t.Fatalf("length mismatch for %v", m)
+		}
+		for _, f := range r.ChangeFrac[m] {
+			if f < 0 || f > 1 {
+				t.Fatalf("change fraction %v out of [0,1]", f)
+			}
+		}
+	}
+	// §4/Fig 3 direction: BP's ground-hop sequences churn at least as much
+	// as hybrid's (hybrid's ground signature is usually empty — endpoints
+	// only — so it almost never changes).
+	if r.MeanChangeFrac(BP) < r.MeanChangeFrac(Hybrid) {
+		t.Errorf("BP churn %v below hybrid churn %v",
+			r.MeanChangeFrac(BP), r.MeanChangeFrac(Hybrid))
+	}
+	var buf bytes.Buffer
+	WritePathChurnReport(&buf, r)
+	if !strings.Contains(buf.String(), "pathchurn") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+	// Needs ≥ 2 snapshots.
+	bad := TinyScale()
+	bad.NumSnapshots = 1
+	one, err := NewSim(Starlink, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPathChurn(one); err == nil {
+		t.Errorf("single snapshot must fail")
+	}
+}

@@ -1,0 +1,52 @@
+package flow
+
+import (
+	"fmt"
+
+	"leosim/internal/graph"
+)
+
+// DirectedEdges converts a routed path on a network into the directed-edge
+// IDs a Problem uses: each undirected link li yields edges 2·li (A→B) and
+// 2·li+1 (B→A). Both directions of a link carry the full link capacity
+// (full-duplex), matching the paper's capacity model.
+func DirectedEdges(n *graph.Network, p graph.Path) ([]int32, error) {
+	if len(p.Nodes) != len(p.Links)+1 {
+		return nil, fmt.Errorf("flow: malformed path: %d nodes, %d links",
+			len(p.Nodes), len(p.Links))
+	}
+	out := make([]int32, len(p.Links))
+	for i, li := range p.Links {
+		l := n.Links[li]
+		u := p.Nodes[i]
+		switch u {
+		case l.A:
+			out[i] = 2 * li
+		case l.B:
+			out[i] = 2*li + 1
+		default:
+			return nil, fmt.Errorf("flow: path node %d not on link %d", u, li)
+		}
+	}
+	return out, nil
+}
+
+// ProblemFromNetwork creates an allocation Problem whose directed-edge
+// capacities mirror the network's links.
+func ProblemFromNetwork(n *graph.Network) *Problem {
+	caps := make([]float64, 2*len(n.Links))
+	for i, l := range n.Links {
+		caps[2*i] = l.CapGbps
+		caps[2*i+1] = l.CapGbps
+	}
+	return NewProblem(caps)
+}
+
+// AddPathFlow registers the directed flow along path p and returns its ID.
+func AddPathFlow(pr *Problem, n *graph.Network, p graph.Path) (int, error) {
+	edges, err := DirectedEdges(n, p)
+	if err != nil {
+		return 0, err
+	}
+	return pr.AddFlow(edges), nil
+}

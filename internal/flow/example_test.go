@@ -1,0 +1,22 @@
+package flow_test
+
+import (
+	"fmt"
+
+	"leosim/internal/flow"
+)
+
+// ExampleProblem_MaxMinFair reproduces the classic two-link fairness
+// example: the long flow is bottlenecked at 1, freeing 9 for the short one.
+func ExampleProblem_MaxMinFair() {
+	p := flow.NewProblem([]float64{1, 10})
+	long := p.AddFlow([]int32{0, 1})
+	short := p.AddFlow([]int32{1})
+	alloc, err := p.MaxMinFair()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("long=%.0f short=%.0f total=%.0f\n",
+		alloc[long], alloc[short], flow.Sum(alloc))
+	// Output: long=1 short=9 total=10
+}

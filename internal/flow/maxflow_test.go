@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"testing"
+
+	"leosim/internal/geo"
+	"leosim/internal/graph"
+)
+
+func TestMaxFlowClassic(t *testing.T) {
+	// The textbook 6-node instance with max flow 23.
+	m := NewMaxFlowNet(6)
+	s, a, b, c, d, tt := int32(0), int32(1), int32(2), int32(3), int32(4), int32(5)
+	m.AddArc(s, a, 16)
+	m.AddArc(s, b, 13)
+	m.AddArc(a, b, 10)
+	m.AddArc(b, a, 4)
+	m.AddArc(a, c, 12)
+	m.AddArc(c, b, 9)
+	m.AddArc(b, d, 14)
+	m.AddArc(d, c, 7)
+	m.AddArc(c, tt, 20)
+	m.AddArc(d, tt, 4)
+	f, err := m.Solve(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f, 23, 1e-9) {
+		t.Errorf("max flow = %v, want 23", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	m := NewMaxFlowNet(3)
+	m.AddArc(0, 1, 5)
+	f, err := m.Solve(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("flow to disconnected sink = %v", f)
+	}
+}
+
+func TestMaxFlowValidation(t *testing.T) {
+	m := NewMaxFlowNet(2)
+	if _, err := m.Solve(0, 0); err == nil {
+		t.Errorf("s == t must fail")
+	}
+	if _, err := m.Solve(0, 9); err == nil {
+		t.Errorf("out-of-range sink must fail")
+	}
+}
+
+func TestMaxFlowUndirectedEdge(t *testing.T) {
+	// s —10— m —10— t via an undirected chain: flow 10.
+	net := NewMaxFlowNet(3)
+	net.AddEdge(0, 1, 10)
+	net.AddEdge(1, 2, 10)
+	f, err := net.Solve(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f, 10, 1e-9) {
+		t.Errorf("chain flow = %v", f)
+	}
+}
+
+func TestBuildMaxFlowSatellitePools(t *testing.T) {
+	// Two terminals each see the same satellite at 20 Gbps links; the
+	// uplink pool (20) must cap their combined ingress.
+	n := &graph.Network{}
+	sat := n.AddNode(graph.NodeSatellite, geo.LatLon{Lat: 0, Lon: 10, Alt: 550}.ToECEF(), "s")
+	n.NumSat = 1
+	a := n.AddNode(graph.NodeCity, geo.LL(0, 0).ToECEF(), "a")
+	b := n.AddNode(graph.NodeCity, geo.LL(0, 20).ToECEF(), "b")
+	c := n.AddNode(graph.NodeCity, geo.LL(5, 10).ToECEF(), "c")
+	n.NumCity = 3
+	n.AddLink(a, sat, graph.LinkGSL, 20)
+	n.AddLink(b, sat, graph.LinkGSL, 20)
+	n.AddLink(sat, c, graph.LinkGSL, 20)
+
+	// Without pools: a and b together could push 40 into the satellite,
+	// but the single downlink to c caps at 20.
+	m, _ := BuildMaxFlow(n, 0)
+	src := m.AddNode()
+	m.AddArc(src, a, 1e9)
+	m.AddArc(src, b, 1e9)
+	f, err := m.Solve(src, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f, 20, 1e-9) {
+		t.Errorf("no-pool flow = %v, want 20 (downlink cap)", f)
+	}
+
+	// With pools and TWO downlink terminals, the uplink pool becomes the
+	// binding constraint at 20 even though 2×20 of downlink exists.
+	d := n.AddNode(graph.NodeCity, geo.LL(-5, 10).ToECEF(), "d")
+	n.NumCity = 4
+	n.AddLink(sat, d, graph.LinkGSL, 20)
+	m2, _ := BuildMaxFlow(n, 20)
+	src2 := m2.AddNode()
+	sink2 := m2.AddNode()
+	m2.AddArc(src2, a, 1e9)
+	m2.AddArc(src2, b, 1e9)
+	m2.AddArc(c, sink2, 1e9)
+	m2.AddArc(d, sink2, 1e9)
+	f2, err := m2.Solve(src2, sink2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f2, 20, 1e-9) {
+		t.Errorf("pooled flow = %v, want 20 (uplink pool)", f2)
+	}
+
+	// Same instance without pools: 40 flows (2 uplinks × 2 downlinks).
+	m3, _ := BuildMaxFlow(n, 0)
+	src3 := m3.AddNode()
+	sink3 := m3.AddNode()
+	m3.AddArc(src3, a, 1e9)
+	m3.AddArc(src3, b, 1e9)
+	m3.AddArc(c, sink3, 1e9)
+	m3.AddArc(d, sink3, 1e9)
+	f3, err := m3.Solve(src3, sink3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f3, 40, 1e-9) {
+		t.Errorf("unpooled flow = %v, want 40", f3)
+	}
+}
+
+func TestMaxFlowMonotoneInLinks(t *testing.T) {
+	// Adding a fiber link can only raise (or keep) the max flow — the
+	// property the Fig 11 capacity metric relies on.
+	n := &graph.Network{}
+	sat := n.AddNode(graph.NodeSatellite, geo.LatLon{Lat: 0, Lon: 5, Alt: 550}.ToECEF(), "s")
+	n.NumSat = 1
+	metro := n.AddNode(graph.NodeCity, geo.LL(0, 0).ToECEF(), "metro")
+	nb := n.AddNode(graph.NodeCity, geo.LL(1, 0).ToECEF(), "neighbor")
+	dst := n.AddNode(graph.NodeCity, geo.LL(0, 10).ToECEF(), "dst")
+	n.NumCity = 3
+	n.AddLink(metro, sat, graph.LinkGSL, 20)
+	n.AddLink(nb, sat, graph.LinkGSL, 20)
+	n.AddLink(sat, dst, graph.LinkGSL, 40)
+
+	base, _ := BuildMaxFlow(n, 0)
+	fBase, _ := base.Solve(metro, dst)
+
+	n.AddLink(metro, nb, graph.LinkFiber, 200)
+	aug, _ := BuildMaxFlow(n, 0)
+	fAug, _ := aug.Solve(metro, dst)
+	if fAug < fBase {
+		t.Fatalf("fiber reduced max flow: %v → %v", fBase, fAug)
+	}
+	if !almostEq(fBase, 20, 1e-9) || !almostEq(fAug, 40, 1e-9) {
+		t.Errorf("flows = %v → %v, want 20 → 40", fBase, fAug)
+	}
+}

@@ -1,0 +1,88 @@
+package flow
+
+import (
+	"fmt"
+
+	"leosim/internal/graph"
+)
+
+// NetworkProblem couples a max-min Problem to a network's edge layout and
+// optionally enforces per-satellite aggregate GSL capacity.
+//
+// The paper's §2 notes that each satellite shares its up-down radio capacity
+// across the multiple GTs it serves simultaneously; §5's result that BP
+// "uses up more constrained capacity at these links" follows from satellites
+// being the constrained radio resource. With SatAggGbps > 0, every satellite
+// gets a virtual uplink pool (traffic arriving from any terminal) and a
+// virtual downlink pool (traffic leaving to any terminal), each of that
+// capacity, in addition to the per-link capacities. BP paths debit a pool at
+// every bounce; ISL paths only at the first and last hop — which is exactly
+// the asymmetry §5 describes.
+type NetworkProblem struct {
+	*Problem
+	n *graph.Network
+	// satBase is the directed-edge index of satellite 0's uplink pool, or
+	// -1 when aggregate constraints are disabled.
+	satBase int
+}
+
+// NewNetworkProblem builds the allocation problem for n. satAggGbps > 0
+// enables the per-satellite aggregate pools.
+func NewNetworkProblem(n *graph.Network, satAggGbps float64) *NetworkProblem {
+	nLink := len(n.Links)
+	caps := make([]float64, 2*nLink, 2*nLink+2*n.NumSat)
+	for i, l := range n.Links {
+		caps[2*i] = l.CapGbps
+		caps[2*i+1] = l.CapGbps
+	}
+	satBase := -1
+	if satAggGbps > 0 {
+		satBase = len(caps)
+		for i := 0; i < n.NumSat; i++ {
+			caps = append(caps, satAggGbps, satAggGbps) // up pool, down pool
+		}
+	}
+	return &NetworkProblem{Problem: NewProblem(caps), n: n, satBase: satBase}
+}
+
+// SetISLCapacity rewrites the capacity of every ISL-link edge (both
+// directions). Flows already added keep their routes; the problem can be
+// re-solved with MaxMinFair — which is how the Fig 5 capacity sweep reuses
+// one set of shortest paths across ISL capacities.
+func (np *NetworkProblem) SetISLCapacity(gbps float64) {
+	for i, l := range np.n.Links {
+		if l.Kind == graph.LinkISL {
+			np.cap[2*i] = gbps
+			np.cap[2*i+1] = gbps
+		}
+	}
+}
+
+// AddPath registers a flow along path p, debiting link capacities and (when
+// enabled) the satellite pools it bounces through. It returns the flow ID.
+func (np *NetworkProblem) AddPath(p graph.Path) (int, error) {
+	edges, err := DirectedEdges(np.n, p)
+	if err != nil {
+		return 0, err
+	}
+	if np.satBase >= 0 {
+		for i, li := range p.Links {
+			l := np.n.Links[li]
+			if l.Kind != graph.LinkGSL {
+				continue
+			}
+			from, to := p.Nodes[i], p.Nodes[i+1]
+			switch {
+			case np.n.Kind[to] == graph.NodeSatellite:
+				// Terminal → satellite: uplink pool of the satellite.
+				edges = append(edges, int32(np.satBase+2*int(to)))
+			case np.n.Kind[from] == graph.NodeSatellite:
+				// Satellite → terminal: downlink pool.
+				edges = append(edges, int32(np.satBase+2*int(from)+1))
+			default:
+				return 0, fmt.Errorf("flow: GSL between two ground nodes")
+			}
+		}
+	}
+	return np.AddFlow(edges), nil
+}

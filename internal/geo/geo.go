@@ -1,0 +1,135 @@
+// Package geo provides the geodetic and astrodynamic primitives used by the
+// rest of the simulator: Cartesian vectors, coordinate transforms between
+// geodetic, Earth-centered Earth-fixed (ECEF) and Earth-centered inertial
+// (ECI) frames, topocentric look angles, great-circle geodesics, and sidereal
+// time.
+//
+// Conventions: distances are kilometers, times are seconds (or time.Time for
+// epochs), angles at the public API boundary are degrees, and internal math
+// uses radians. Latitude is positive north, longitude positive east.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical and geodetic constants. Distances are in kilometers.
+const (
+	// EarthRadius is the volumetric mean Earth radius used for the
+	// spherical-Earth geometry that the network experiments run on.
+	EarthRadius = 6371.0
+
+	// EarthEquatorialRadius is the WGS84 semi-major axis.
+	EarthEquatorialRadius = 6378.137
+
+	// EarthFlattening is the WGS84 flattening f = 1/298.257223563.
+	EarthFlattening = 1.0 / 298.257223563
+
+	// EarthMu is the WGS84 gravitational parameter in km^3/s^2.
+	EarthMu = 398600.4418
+
+	// EarthRotationRate is the Earth's sidereal rotation rate in rad/s.
+	EarthRotationRate = 7.2921150e-5
+
+	// LightSpeed is the speed of light in vacuum, km/s. Laser ISLs and
+	// radio ground-satellite links both propagate at c.
+	LightSpeed = 299792.458
+
+	// FiberSpeed is the effective propagation speed in optical fiber
+	// (~2/3 c), used for the terrestrial fiber augmentation of §8.
+	FiberSpeed = LightSpeed * 2.0 / 3.0
+
+	// GSOAltitude is the altitude of the geostationary arc above the
+	// Equator, used for the GSO arc-avoidance constraint of §7.
+	GSOAltitude = 35786.0
+
+	// Deg converts degrees to radians when multiplied.
+	Deg = math.Pi / 180
+	// Rad converts radians to degrees when multiplied.
+	Rad = 180 / math.Pi
+)
+
+// LatLon is a geodetic position: latitude and longitude in degrees and
+// altitude above the (spherical) Earth surface in kilometers.
+type LatLon struct {
+	Lat, Lon float64 // degrees
+	Alt      float64 // kilometers above surface
+}
+
+// LL builds a surface LatLon (altitude zero).
+func LL(lat, lon float64) LatLon { return LatLon{Lat: lat, Lon: lon} }
+
+// Normalize returns the position with longitude wrapped into (-180, 180] and
+// latitude clamped into [-90, 90].
+func (p LatLon) Normalize() LatLon {
+	lon := math.Mod(p.Lon, 360)
+	if lon > 180 {
+		lon -= 360
+	} else if lon <= -180 {
+		lon += 360
+	}
+	lat := p.Lat
+	if lat > 90 {
+		lat = 90
+	} else if lat < -90 {
+		lat = -90
+	}
+	return LatLon{Lat: lat, Lon: lon, Alt: p.Alt}
+}
+
+// Valid reports whether latitude and longitude are within their conventional
+// ranges.
+func (p LatLon) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 360 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String implements fmt.Stringer.
+func (p LatLon) String() string {
+	ns, ew := "N", "E"
+	lat, lon := p.Lat, p.Lon
+	if lat < 0 {
+		ns, lat = "S", -lat
+	}
+	if lon < 0 {
+		ew, lon = "W", -lon
+	}
+	if p.Alt != 0 {
+		return fmt.Sprintf("%.3f°%s %.3f°%s %+.1fkm", lat, ns, lon, ew, p.Alt)
+	}
+	return fmt.Sprintf("%.3f°%s %.3f°%s", lat, ns, lon, ew)
+}
+
+// CoverageRadius returns the great-circle radius (km, along the surface) of
+// the coverage cone of a satellite at altitude h (km) for ground terminals
+// with minimum elevation angle elevDeg (degrees).
+//
+// Geometry: for a spherical Earth of radius R, a terminal sees the satellite
+// at elevation e when the Earth-central angle ψ between terminal and
+// sub-satellite point satisfies
+//
+//	ψ = acos(R·cos(e)/(R+h)) − e.
+//
+// Starlink (h=550, e=25°) yields ≈941 km and Kuiper (h=630, e=30°)
+// ≈1,091 km, matching §2 of the paper.
+func CoverageRadius(altKm, elevDeg float64) float64 {
+	e := elevDeg * Deg
+	psi := math.Acos(EarthRadius*math.Cos(e)/(EarthRadius+altKm)) - e
+	return EarthRadius * psi
+}
+
+// SlantRange returns the terminal→satellite distance in km for a satellite at
+// altitude h seen at elevation elevDeg, on a spherical Earth.
+func SlantRange(altKm, elevDeg float64) float64 {
+	e := elevDeg * Deg
+	r := EarthRadius + altKm
+	// Law of cosines in the Earth-center/terminal/satellite triangle.
+	return math.Sqrt(r*r-EarthRadius*EarthRadius*math.Cos(e)*math.Cos(e)) -
+		EarthRadius*math.Sin(e)
+}
+
+// MaxGSLLength returns the maximum length of a ground-satellite link for a
+// satellite at altKm with minimum elevation elevDeg. It is the slant range at
+// exactly the minimum elevation.
+func MaxGSLLength(altKm, elevDeg float64) float64 { return SlantRange(altKm, elevDeg) }

@@ -1,0 +1,90 @@
+package geo
+
+import "math"
+
+// GreatCircleKm returns the great-circle (geodesic) distance between two
+// surface positions in kilometers, on the spherical Earth. Altitudes are
+// ignored. The haversine form is used for numerical stability at short
+// distances.
+func GreatCircleKm(a, b LatLon) float64 {
+	return EarthRadius * CentralAngle(a, b)
+}
+
+// CentralAngle returns the Earth-central angle between two surface positions
+// in radians.
+func CentralAngle(a, b LatLon) float64 {
+	la, lb := a.Lat*Deg, b.Lat*Deg
+	dLat := lb - la
+	dLon := (b.Lon - a.Lon) * Deg
+	sa := math.Sin(dLat / 2)
+	so := math.Sin(dLon / 2)
+	h := sa*sa + math.Cos(la)*math.Cos(lb)*so*so
+	if h > 1 {
+		h = 1
+	}
+	return 2 * math.Asin(math.Sqrt(h))
+}
+
+// InitialBearing returns the initial great-circle bearing from a to b in
+// degrees clockwise from north, in [0, 360).
+func InitialBearing(a, b LatLon) float64 {
+	la, lb := a.Lat*Deg, b.Lat*Deg
+	dLon := (b.Lon - a.Lon) * Deg
+	y := math.Sin(dLon) * math.Cos(lb)
+	x := math.Cos(la)*math.Sin(lb) - math.Sin(la)*math.Cos(lb)*math.Cos(dLon)
+	brg := math.Atan2(y, x) * Rad
+	if brg < 0 {
+		brg += 360
+	}
+	return brg
+}
+
+// Destination returns the surface point reached by travelling distKm along
+// the great circle from p with initial bearing bearingDeg.
+func Destination(p LatLon, bearingDeg, distKm float64) LatLon {
+	delta := distKm / EarthRadius
+	theta := bearingDeg * Deg
+	lat1 := p.Lat * Deg
+	lon1 := p.Lon * Deg
+	sinLat1, cosLat1 := math.Sincos(lat1)
+	sinD, cosD := math.Sincos(delta)
+	sinLat2 := sinLat1*cosD + cosLat1*sinD*math.Cos(theta)
+	lat2 := math.Asin(clamp(sinLat2, -1, 1))
+	y := math.Sin(theta) * sinD * cosLat1
+	x := cosD - sinLat1*sinLat2
+	lon2 := lon1 + math.Atan2(y, x)
+	return LatLon{Lat: lat2 * Rad, Lon: lon2 * Rad}.Normalize()
+}
+
+// Intermediate returns the surface point a fraction f (in [0,1]) of the way
+// along the great circle from a to b. f=0 yields a, f=1 yields b. Antipodal
+// endpoints (where the great circle is ambiguous) fall back to walking via
+// the initial bearing.
+func Intermediate(a, b LatLon, f float64) LatLon {
+	d := CentralAngle(a, b)
+	if d == 0 {
+		return a
+	}
+	sinD := math.Sin(d)
+	if sinD < 1e-12 { // antipodal or coincident
+		return Destination(a, InitialBearing(a, b), f*d*EarthRadius)
+	}
+	A := math.Sin((1-f)*d) / sinD
+	B := math.Sin(f*d) / sinD
+	la, lb := a.Lat*Deg, b.Lat*Deg
+	loa, lob := a.Lon*Deg, b.Lon*Deg
+	x := A*math.Cos(la)*math.Cos(loa) + B*math.Cos(lb)*math.Cos(lob)
+	y := A*math.Cos(la)*math.Sin(loa) + B*math.Cos(lb)*math.Sin(lob)
+	z := A*math.Sin(la) + B*math.Sin(lb)
+	lat := math.Atan2(z, math.Sqrt(x*x+y*y))
+	lon := math.Atan2(y, x)
+	return LatLon{Lat: lat * Rad, Lon: lon * Rad}
+}
+
+// MinRTTOverSurface returns the lower bound on round-trip time, in
+// milliseconds, between two surface points if signals travelled the geodesic
+// at the speed of light — the "c-latency" yardstick used in LEO networking
+// papers.
+func MinRTTOverSurface(a, b LatLon) float64 {
+	return 2 * GreatCircleKm(a, b) / LightSpeed * 1000
+}

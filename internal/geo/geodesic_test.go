@@ -1,0 +1,127 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	london   = LL(51.5074, -0.1278)
+	newYork  = LL(40.7128, -74.0060)
+	sydney   = LL(-33.8688, 151.2093)
+	delhi    = LL(28.7041, 77.1025)
+	johannes = LL(-26.2041, 28.0473)
+)
+
+func TestGreatCircleKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b LatLon
+		want float64 // km, spherical-Earth values
+		tol  float64
+	}{
+		{london, newYork, 5570, 30},
+		{delhi, sydney, 10420, 60},
+		{london, johannes, 9070, 60},
+		{LL(0, 0), LL(0, 180), math.Pi * EarthRadius, 1},    // antipodal
+		{LL(0, 0), LL(0, 90), math.Pi / 2 * EarthRadius, 1}, // quarter
+	}
+	for _, c := range cases {
+		got := GreatCircleKm(c.a, c.b)
+		if !almostEq(got, c.want, c.tol) {
+			t.Errorf("GreatCircleKm(%v,%v) = %.0f, want %.0f±%.0f", c.a, c.b, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestGreatCircleSymmetryProperty(t *testing.T) {
+	f := func(la, loa, lb, lob float64) bool {
+		a := LL(math.Mod(sanitize(la), 90), math.Mod(sanitize(loa), 180))
+		b := LL(math.Mod(sanitize(lb), 90), math.Mod(sanitize(lob), 180))
+		return almostEq(GreatCircleKm(a, b), GreatCircleKm(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreatCircleTriangleProperty(t *testing.T) {
+	// d(a,c) <= d(a,b) + d(b,c) on the sphere.
+	f := func(la, loa, lb, lob, lc, loc float64) bool {
+		a := LL(math.Mod(sanitize(la), 90), math.Mod(sanitize(loa), 180))
+		b := LL(math.Mod(sanitize(lb), 90), math.Mod(sanitize(lob), 180))
+		c := LL(math.Mod(sanitize(lc), 90), math.Mod(sanitize(loc), 180))
+		return GreatCircleKm(a, c) <= GreatCircleKm(a, b)+GreatCircleKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	start := LL(51.5, -0.13)
+	for _, brg := range []float64{0, 45, 90, 135, 180, 270, 359} {
+		for _, dist := range []float64{1, 100, 2500, 9000} {
+			dst := Destination(start, brg, dist)
+			if d := GreatCircleKm(start, dst); !almostEq(d, dist, 1e-6*dist+1e-6) {
+				t.Errorf("Destination(%v° %vkm): distance back = %v", brg, dist, d)
+			}
+		}
+	}
+}
+
+func TestDestinationPoles(t *testing.T) {
+	// Walking a quarter circumference north from the equator reaches the pole.
+	p := Destination(LL(0, 30), 0, math.Pi/2*EarthRadius)
+	if !almostEq(p.Lat, 90, 1e-6) {
+		t.Errorf("should reach north pole, got %v", p)
+	}
+}
+
+func TestIntermediate(t *testing.T) {
+	a, b := london, sydney
+	if p := Intermediate(a, b, 0); GreatCircleKm(p, a) > 1e-6 {
+		t.Errorf("f=0 should return start, got %v", p)
+	}
+	if p := Intermediate(a, b, 1); GreatCircleKm(p, b) > 1e-6 {
+		t.Errorf("f=1 should return end, got %v", p)
+	}
+	mid := Intermediate(a, b, 0.5)
+	da, db := GreatCircleKm(a, mid), GreatCircleKm(mid, b)
+	if !almostEq(da, db, 1e-6) {
+		t.Errorf("midpoint not equidistant: %v vs %v", da, db)
+	}
+	if !almostEq(da+db, GreatCircleKm(a, b), 1e-6) {
+		t.Errorf("midpoint not on geodesic")
+	}
+}
+
+func TestIntermediateCoincident(t *testing.T) {
+	p := Intermediate(london, london, 0.5)
+	if GreatCircleKm(p, london) > 1e-9 {
+		t.Errorf("intermediate of coincident points = %v", p)
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	if b := InitialBearing(LL(0, 0), LL(10, 0)); !almostEq(b, 0, 1e-9) {
+		t.Errorf("north bearing = %v", b)
+	}
+	if b := InitialBearing(LL(0, 0), LL(0, 10)); !almostEq(b, 90, 1e-9) {
+		t.Errorf("east bearing = %v", b)
+	}
+	if b := InitialBearing(LL(0, 0), LL(-10, 0)); !almostEq(b, 180, 1e-9) {
+		t.Errorf("south bearing = %v", b)
+	}
+	if b := InitialBearing(LL(0, 0), LL(0, -10)); !almostEq(b, 270, 1e-9) {
+		t.Errorf("west bearing = %v", b)
+	}
+}
+
+func TestMinRTTOverSurface(t *testing.T) {
+	// London–New York geodesic c-latency is ≈ 37 ms RTT on the sphere.
+	rtt := MinRTTOverSurface(london, newYork)
+	if !almostEq(rtt, 2*5570/LightSpeed*1000, 0.3) {
+		t.Errorf("c-RTT London–NY = %v ms", rtt)
+	}
+}

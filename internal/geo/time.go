@@ -1,0 +1,51 @@
+package geo
+
+import (
+	"math"
+	"time"
+)
+
+// JulianDate returns the Julian date of t (UTC). The conversion uses the
+// standard Fliegel–Van Flandern algorithm and is exact for the Gregorian
+// calendar dates the simulator deals in.
+func JulianDate(t time.Time) float64 {
+	t = t.UTC()
+	y, m, d := t.Date()
+	yy, mm := int64(y), int64(m)
+	if mm <= 2 {
+		yy--
+		mm += 12
+	}
+	a := yy / 100
+	b := 2 - a + a/4
+	jdMidnight := math.Floor(365.25*float64(yy+4716)) +
+		math.Floor(30.6001*float64(mm+1)) +
+		float64(d) + float64(b) - 1524.5
+	secs := float64(t.Hour())*3600 + float64(t.Minute())*60 +
+		float64(t.Second()) + float64(t.Nanosecond())*1e-9
+	return jdMidnight + secs/86400
+}
+
+// GMST returns the Greenwich Mean Sidereal Time at t, in radians in [0, 2π).
+// It implements the IAU 1982 GMST polynomial, which is accurate to well under
+// a second of time for decades around J2000 — far beyond what link geometry
+// needs.
+func GMST(t time.Time) float64 {
+	jd := JulianDate(t)
+	// Julian centuries of UT1 (≈UTC here) from J2000.
+	tut := (jd - 2451545.0) / 36525.0
+	// Seconds of sidereal time.
+	s := 67310.54841 + (876600.0*3600+8640184.812866)*tut +
+		0.093104*tut*tut - 6.2e-6*tut*tut*tut
+	// Convert seconds → radians (86400 sidereal seconds per 2π).
+	theta := math.Mod(s*(2*math.Pi/86400), 2*math.Pi)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// Epoch is the reference epoch used by the simulator when an experiment does
+// not specify one. It is arbitrary but fixed so that every run is
+// deterministic.
+var Epoch = time.Date(2020, time.March, 1, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,76 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a Cartesian vector in kilometers. It is used for positions and
+// velocities in both Earth-centered inertial (ECI) and Earth-centered
+// Earth-fixed (ECEF) frames; the frame is tracked by the caller.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v, avoiding a sqrt.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Distance returns the Euclidean distance between v and w in kilometers.
+func (v Vec3) Distance(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// AngleTo returns the angle between v and w in radians, in [0, π].
+func (v Vec3) AngleTo(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	cos := v.Dot(w) / (nv * nw)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos)
+}
+
+// IsZero reports whether all components are exactly zero.
+func (v Vec3) IsZero() bool { return v.X == 0 && v.Y == 0 && v.Z == 0 }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}

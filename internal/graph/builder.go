@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"leosim/internal/aircraft"
+	"leosim/internal/constellation"
+	"leosim/internal/geo"
+	"leosim/internal/ground"
+)
+
+// BuildOptions configure per-snapshot graph construction.
+type BuildOptions struct {
+	// ISL adds the constellation's inter-satellite links (hybrid
+	// connectivity); without it the graph is bent-pipe only.
+	ISL bool
+	// GSLCapGbps is the capacity of each ground-satellite link direction
+	// (paper default 20 Gbps).
+	GSLCapGbps float64
+	// ISLCapGbps is the capacity of each ISL direction (paper default
+	// 100 Gbps).
+	ISLCapGbps float64
+	// GSO, when non-zero, applies the GSO arc-avoidance constraint to
+	// city/relay terminals (§7).
+	GSO ground.GSOPolicy
+	// MinElevationOverrideDeg, when positive, replaces each shell's
+	// minimum elevation angle (Fig 9 uses 40° for full deployment).
+	MinElevationOverrideDeg float64
+	// MaxGSLsPerSatellite, when positive, caps how many terminals a
+	// satellite can serve simultaneously (closest first). §2 assumes
+	// "careful frequency management alleviates interference" — i.e. no
+	// cap; this knob quantifies what happens when the number of beams or
+	// channels is finite. Dense relay deployments (BP) suffer first.
+	MaxGSLsPerSatellite int
+}
+
+// DefaultOptions returns the paper's §5 capacities with ISLs disabled.
+func DefaultOptions() BuildOptions {
+	return BuildOptions{GSLCapGbps: 20, ISLCapGbps: 100}
+}
+
+// Builder constructs per-snapshot Networks from a constellation, a ground
+// segment, and optionally an aircraft fleet.
+type Builder struct {
+	Const *constellation.Constellation
+	Seg   *ground.Segment
+	Fleet *aircraft.Fleet // nil = no aircraft relays
+	Opts  BuildOptions
+
+	gsoMu sync.Mutex
+	gso   []*ground.GSOChecker // per segment terminal, rebuilt on growth
+}
+
+// NewBuilder wires a builder. Fleet may be nil.
+func NewBuilder(c *constellation.Constellation, seg *ground.Segment,
+	fleet *aircraft.Fleet, opts BuildOptions) (*Builder, error) {
+	if c == nil || seg == nil {
+		return nil, fmt.Errorf("graph: constellation and segment are required")
+	}
+	if opts.GSLCapGbps <= 0 || (opts.ISL && opts.ISLCapGbps <= 0) {
+		return nil, fmt.Errorf("graph: capacities must be positive (gsl=%v isl=%v)",
+			opts.GSLCapGbps, opts.ISLCapGbps)
+	}
+	return &Builder{Const: c, Seg: seg, Fleet: fleet, Opts: opts}, nil
+}
+
+func (b *Builder) gsoCheckers() []*ground.GSOChecker {
+	if b.Opts.GSO.SeparationDeg <= 0 {
+		return nil
+	}
+	b.gsoMu.Lock()
+	defer b.gsoMu.Unlock()
+	// Rebuild when the segment grew (EnsureCity adds terminals after
+	// construction); checkers for unchanged terminals are cheap enough to
+	// recompute wholesale.
+	if len(b.gso) != len(b.Seg.Terminals) {
+		b.gso = make([]*ground.GSOChecker, len(b.Seg.Terminals))
+		for i, t := range b.Seg.Terminals {
+			b.gso[i] = ground.NewGSOChecker(t.Pos, b.Opts.GSO)
+		}
+	}
+	return b.gso
+}
+
+// satIndex spatially buckets satellites by sub-satellite point for fast
+// visibility queries.
+type satIndex struct {
+	cellDeg float64
+	cols    int
+	rows    int
+	cells   map[int][]int32
+	subLat  []float64
+	subLon  []float64
+}
+
+func newSatIndex(pos []geo.Vec3, cellDeg float64) *satIndex {
+	idx := &satIndex{
+		cellDeg: cellDeg,
+		cols:    int(math.Ceil(360 / cellDeg)),
+		rows:    int(math.Ceil(180 / cellDeg)),
+		cells:   make(map[int][]int32),
+		subLat:  make([]float64, len(pos)),
+		subLon:  make([]float64, len(pos)),
+	}
+	for i, p := range pos {
+		ll := geo.FromECEF(p)
+		idx.subLat[i] = ll.Lat
+		idx.subLon[i] = ll.Lon
+		c := idx.cellOf(ll.Lat, ll.Lon)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+func (x *satIndex) cellOf(lat, lon float64) int {
+	r := int((lat + 90) / x.cellDeg)
+	if r < 0 {
+		r = 0
+	} else if r >= x.rows {
+		r = x.rows - 1
+	}
+	c := int((lon + 180) / x.cellDeg)
+	c = ((c % x.cols) + x.cols) % x.cols
+	return r*x.cols + c
+}
+
+// candidates returns satellites whose sub-satellite point lies within
+// radiusDeg (central angle) of (lat, lon), conservatively (may include a few
+// extras; never misses one).
+func (x *satIndex) candidates(lat, lon, radiusDeg float64, out []int32) []int32 {
+	out = out[:0]
+	rCells := int(radiusDeg/x.cellDeg) + 1
+	r0 := int((lat + 90) / x.cellDeg)
+	for dr := -rCells; dr <= rCells; dr++ {
+		r := r0 + dr
+		if r < 0 || r >= x.rows {
+			continue
+		}
+		cellLat := -90 + (float64(r)+0.5)*x.cellDeg
+		cosLat := math.Cos(cellLat * geo.Deg)
+		var cCells int
+		if cosLat*float64(x.cols) <= 2*radiusDeg/x.cellDeg*2 || cosLat < 0.05 {
+			cCells = x.cols / 2 // near poles scan the whole ring
+		} else {
+			cCells = int(radiusDeg/(x.cellDeg*cosLat)) + 1
+		}
+		c0 := int((lon + 180) / x.cellDeg)
+		for dc := -cCells; dc <= cCells; dc++ {
+			c := ((c0+dc)%x.cols + x.cols) % x.cols
+			out = append(out, x.cells[r*x.cols+c]...)
+		}
+	}
+	return out
+}
+
+// At builds the network snapshot for time t. Node layout: satellites
+// [0,S), cities, relays, then over-water aircraft.
+func (b *Builder) At(t time.Time) *Network {
+	satPos := b.Const.PositionsECEF(t)
+	n := &Network{}
+	n.NumSat = len(satPos)
+	for i, p := range satPos {
+		s := b.Const.Sats[i]
+		n.AddNode(NodeSatellite, p, fmt.Sprintf("sat-%d/%d.%d", s.ShellIndex, s.Plane, s.Slot))
+	}
+	for _, term := range b.Seg.Terminals {
+		kind := NodeCity
+		if term.Kind == ground.KindRelay {
+			kind = NodeRelay
+		}
+		n.AddNode(kind, term.ECEF, term.Name)
+	}
+	n.NumCity = b.Seg.NumCity
+	n.NumRelay = b.Seg.NumRelay
+
+	var air []aircraft.Aircraft
+	if b.Fleet != nil {
+		air = b.Fleet.OverWaterAt(t)
+		for _, a := range air {
+			n.AddNode(NodeAircraft, a.Pos.ToECEF(), a.Name)
+		}
+	}
+	n.NumAircraft = len(air)
+
+	// Visibility radius per shell: the Earth-central angle of the coverage
+	// cone, in degrees, plus slack for terminal altitude (aircraft).
+	maxRadiusDeg := 0.0
+	minElev := make([]float64, len(b.Const.Shells))
+	for i, sh := range b.Const.Shells {
+		e := sh.MinElevationDeg
+		if b.Opts.MinElevationOverrideDeg > 0 {
+			e = b.Opts.MinElevationOverrideDeg
+		}
+		minElev[i] = e
+		rd := geo.CoverageRadius(sh.AltitudeKm, e)/geo.EarthRadius*geo.Rad + 0.5
+		if rd > maxRadiusDeg {
+			maxRadiusDeg = rd
+		}
+	}
+
+	idx := newSatIndex(satPos, 4)
+	gso := b.gsoCheckers()
+
+	// GSL edges for every terminal node (cities, relays, aircraft).
+	type termJob struct {
+		node int32
+		pos  geo.Vec3
+		ll   geo.LatLon
+		gso  *ground.GSOChecker
+	}
+	jobs := make([]termJob, 0, len(b.Seg.Terminals)+len(air))
+	for i, term := range b.Seg.Terminals {
+		var ck *ground.GSOChecker
+		if gso != nil {
+			ck = gso[i]
+		}
+		jobs = append(jobs, termJob{
+			node: int32(n.NumSat + i), pos: term.ECEF, ll: term.Pos, gso: ck,
+		})
+	}
+	for i, a := range air {
+		jobs = append(jobs, termJob{
+			node: int32(n.NumSat + len(b.Seg.Terminals) + i),
+			pos:  a.Pos.ToECEF(), ll: a.Pos,
+		})
+	}
+
+	// Parallel visibility computation; link insertion is serialized after.
+	type linkPair struct{ term, sat int32 }
+	results := make([][]linkPair, len(jobs))
+	parallelChunks(len(jobs), func(lo, hi int) {
+		var cand []int32
+		for j := lo; j < hi; j++ {
+			job := jobs[j]
+			cand = idx.candidates(job.ll.Lat, job.ll.Lon, maxRadiusDeg, cand)
+			var mine []linkPair
+			for _, si := range cand {
+				e := minElev[b.Const.Sats[si].ShellIndex]
+				if geo.Elevation(job.pos, satPos[si]) < e {
+					continue
+				}
+				if !job.gso.Allowed(satPos[si]) {
+					continue
+				}
+				mine = append(mine, linkPair{term: job.node, sat: si})
+			}
+			results[j] = mine
+		}
+	})
+	if lim := b.Opts.MaxGSLsPerSatellite; lim > 0 {
+		// Keep only each satellite's lim closest terminals.
+		type cand struct {
+			term   int32
+			distKm float64
+		}
+		perSat := make(map[int32][]cand)
+		for _, mine := range results {
+			for _, lp := range mine {
+				perSat[lp.sat] = append(perSat[lp.sat], cand{
+					term:   lp.term,
+					distKm: n.Pos[lp.term].Distance(n.Pos[lp.sat]),
+				})
+			}
+		}
+		for sat := int32(0); sat < int32(n.NumSat); sat++ {
+			cands, ok := perSat[sat]
+			if !ok {
+				continue
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].distKm != cands[j].distKm {
+					return cands[i].distKm < cands[j].distKm
+				}
+				return cands[i].term < cands[j].term
+			})
+			if len(cands) > lim {
+				cands = cands[:lim]
+			}
+			// Deterministic link order: by terminal index.
+			sort.Slice(cands, func(i, j int) bool { return cands[i].term < cands[j].term })
+			for _, c := range cands {
+				n.AddLink(c.term, sat, LinkGSL, b.Opts.GSLCapGbps)
+			}
+		}
+	} else {
+		for _, mine := range results {
+			for _, lp := range mine {
+				n.AddLink(lp.term, lp.sat, LinkGSL, b.Opts.GSLCapGbps)
+			}
+		}
+	}
+
+	if b.Opts.ISL {
+		for _, l := range b.Const.ISLs {
+			n.AddLink(int32(l.A), int32(l.B), LinkISL, b.Opts.ISLCapGbps)
+		}
+	}
+	return n
+}
+
+// parallelChunks splits [0,n) into GOMAXPROCS-sized chunks run concurrently.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := 8
+	if n < workers*4 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,364 @@
+// Package graph builds and routes over per-snapshot network graphs: nodes
+// are satellites, city terminals, grid relays and aircraft; edges are radio
+// ground-satellite links (GSLs) and laser inter-satellite links (ISLs),
+// weighted by propagation delay at the speed of light.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"leosim/internal/geo"
+)
+
+// NodeKind classifies graph nodes.
+type NodeKind uint8
+
+const (
+	// NodeSatellite is a constellation satellite.
+	NodeSatellite NodeKind = iota
+	// NodeCity is a city ground terminal (traffic source/sink + transit).
+	NodeCity
+	// NodeRelay is a transit-only grid relay terminal.
+	NodeRelay
+	// NodeAircraft is an over-water in-flight aircraft relay.
+	NodeAircraft
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeSatellite:
+		return "sat"
+	case NodeCity:
+		return "city"
+	case NodeRelay:
+		return "relay"
+	case NodeAircraft:
+		return "aircraft"
+	default:
+		return fmt.Sprintf("node(%d)", uint8(k))
+	}
+}
+
+// LinkKind classifies links.
+type LinkKind uint8
+
+const (
+	// LinkGSL is a radio ground(or aircraft)-satellite link.
+	LinkGSL LinkKind = iota
+	// LinkISL is a laser inter-satellite link.
+	LinkISL
+	// LinkFiber is a terrestrial fiber link (fiber augmentation, §8).
+	LinkFiber
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkGSL:
+		return "gsl"
+	case LinkISL:
+		return "isl"
+	case LinkFiber:
+		return "fiber"
+	default:
+		return fmt.Sprintf("link(%d)", uint8(k))
+	}
+}
+
+// Link is an undirected link between nodes A and B. Each direction has the
+// full CapGbps available (full-duplex), matching how the paper assigns
+// up/down-link and ISL capacities.
+type Link struct {
+	A, B    int32
+	Kind    LinkKind
+	CapGbps float64
+	// OneWayMs is the propagation delay of the link.
+	OneWayMs float64
+}
+
+// EdgeRef is one direction of a Link in the adjacency structure.
+type EdgeRef struct {
+	// To is the neighbour node.
+	To int32
+	// Link indexes Network.Links.
+	Link int32
+}
+
+// Network is an immutable per-snapshot network graph.
+type Network struct {
+	// Kind and Pos describe the nodes; len(Kind) == len(Pos) == N().
+	Kind []NodeKind
+	Pos  []geo.Vec3
+	// Name holds a human-readable label per node.
+	Name []string
+	// Links is the undirected link list; adjacency references it.
+	Links []Link
+
+	// Node-count metadata filled in by the Builder: nodes are laid out as
+	// satellites, then cities, then relays, then aircraft.
+	NumSat, NumCity, NumRelay, NumAircraft int
+
+	adj [][]EdgeRef
+}
+
+// SatNode returns the node index of satellite i.
+func (n *Network) SatNode(i int) int32 { return int32(i) }
+
+// CityNode returns the node index of city i.
+func (n *Network) CityNode(i int) int32 { return int32(n.NumSat + i) }
+
+// IsGroundSide reports whether node v is any kind of terminal (city, relay
+// or aircraft) as opposed to a satellite.
+func (n *Network) IsGroundSide(v int32) bool { return n.Kind[v] != NodeSatellite }
+
+// N returns the node count.
+func (n *Network) N() int { return len(n.Kind) }
+
+// AddNode appends a node and returns its index.
+func (n *Network) AddNode(kind NodeKind, pos geo.Vec3, name string) int32 {
+	n.Kind = append(n.Kind, kind)
+	n.Pos = append(n.Pos, pos)
+	n.Name = append(n.Name, name)
+	n.adj = append(n.adj, nil)
+	return int32(len(n.Kind) - 1)
+}
+
+// AddLink connects a and b with the given kind and capacity; the propagation
+// delay is derived from the node positions at speed c (or the fiber speed
+// for fiber links). It returns the link index.
+func (n *Network) AddLink(a, b int32, kind LinkKind, capGbps float64) int32 {
+	dist := n.Pos[a].Distance(n.Pos[b])
+	speed := geo.LightSpeed
+	if kind == LinkFiber {
+		speed = geo.FiberSpeed
+		// Fiber follows terrestrial rights-of-way; apply the customary
+		// ×1.5 path-stretch over the geodesic.
+		dist *= 1.5
+	}
+	l := Link{A: a, B: b, Kind: kind, CapGbps: capGbps, OneWayMs: dist / speed * 1000}
+	idx := int32(len(n.Links))
+	n.Links = append(n.Links, l)
+	n.adj[a] = append(n.adj[a], EdgeRef{To: b, Link: idx})
+	n.adj[b] = append(n.adj[b], EdgeRef{To: a, Link: idx})
+	return idx
+}
+
+// Degree returns the number of links at node v.
+func (n *Network) Degree(v int32) int { return len(n.adj[v]) }
+
+// Edges returns node v's adjacency list. The returned slice is owned by the
+// network and must not be mutated.
+func (n *Network) Edges(v int32) []EdgeRef { return n.adj[v] }
+
+// Path is a route through the network.
+type Path struct {
+	Nodes []int32
+	// Links[i] is the link index between Nodes[i] and Nodes[i+1].
+	Links []int32
+	// OneWayMs is the total propagation delay.
+	OneWayMs float64
+}
+
+// RTTMs returns the round-trip propagation time of the path.
+func (p Path) RTTMs() float64 { return 2 * p.OneWayMs }
+
+// Hops returns the hop count (number of links).
+func (p Path) Hops() int { return len(p.Links) }
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest (delay) distances from src to every node.
+// banned, if non-nil, marks link indices to skip. It returns per-node
+// distance in ms (math.Inf(1) if unreachable) and the predecessor link per
+// node (-1 at src/unreachable).
+func (n *Network) Dijkstra(src int32, banned map[int32]bool) (dist []float64, prevLink []int32) {
+	return n.DijkstraExpand(src, banned, nil)
+}
+
+// DijkstraExpand generalizes Dijkstra: when expand is non-nil, edges are only
+// relaxed out of nodes for which expand returns true (the source is always
+// expanded). This implements transit restrictions — e.g. §6's "pure ISL
+// path" model forbids ground terminals as intermediate hops, so expand
+// returns false for every ground-side node.
+func (n *Network) DijkstraExpand(src int32, banned map[int32]bool, expand func(int32) bool) (dist []float64, prevLink []int32) {
+	return n.dijkstra(src, -1, banned, expand)
+}
+
+// dijkstra is the shared implementation. When target ≥ 0 the search stops
+// as soon as the target is settled (its distance and predecessor are then
+// final); remaining entries are left at +Inf.
+func (n *Network) dijkstra(src, target int32, banned map[int32]bool, expand func(int32) bool) (dist []float64, prevLink []int32) {
+	nn := n.N()
+	dist = make([]float64, nn)
+	prevLink = make([]int32, nn)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		if it.node == target {
+			break // settled: dist/prevLink for the target are final
+		}
+		if expand != nil && it.node != src && !expand(it.node) {
+			continue
+		}
+		for _, e := range n.adj[it.node] {
+			if banned != nil && banned[e.Link] {
+				continue
+			}
+			nd := it.dist + n.Links[e.Link].OneWayMs
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevLink[e.To] = e.Link
+				heap.Push(&q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, prevLink
+}
+
+// extractPath walks predecessor links from dst back to src.
+func (n *Network) extractPath(src, dst int32, dist []float64, prevLink []int32) (Path, bool) {
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var nodes []int32
+	var links []int32
+	at := dst
+	for at != src {
+		li := prevLink[at]
+		if li < 0 {
+			return Path{}, false
+		}
+		nodes = append(nodes, at)
+		links = append(links, li)
+		l := n.Links[li]
+		if l.A == at {
+			at = l.B
+		} else {
+			at = l.A
+		}
+		if len(nodes) > n.N() {
+			return Path{}, false // cycle guard; cannot happen with Dijkstra
+		}
+	}
+	nodes = append(nodes, src)
+	reverse32(nodes)
+	reverse32(links)
+	return Path{Nodes: nodes, Links: links, OneWayMs: dist[dst]}, true
+}
+
+func reverse32(s []int32) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// ShortestPath returns the minimum-delay path from src to dst, or ok=false
+// if disconnected.
+func (n *Network) ShortestPath(src, dst int32) (Path, bool) {
+	dist, prev := n.dijkstra(src, dst, nil, nil)
+	return n.extractPath(src, dst, dist, prev)
+}
+
+// ShortestPathSatTransit returns the minimum-delay path from src to dst that
+// only transits satellites: ground-side nodes other than src may terminate
+// the path but never forward traffic. This is the §6 "ISL path" model,
+// which excludes GTs as intermediate hops.
+func (n *Network) ShortestPathSatTransit(src, dst int32) (Path, bool) {
+	dist, prev := n.dijkstra(src, dst, nil, func(v int32) bool {
+		return !n.IsGroundSide(v)
+	})
+	return n.extractPath(src, dst, dist, prev)
+}
+
+// KDisjointPaths returns up to k edge-disjoint minimum-delay paths from src
+// to dst, computed by successively removing the links of each found path
+// (the scheme §5 routes traffic over). Fewer than k paths are returned when
+// the graph runs out of disjoint routes.
+func (n *Network) KDisjointPaths(src, dst int32, k int) []Path {
+	var out []Path
+	banned := make(map[int32]bool)
+	for i := 0; i < k; i++ {
+		dist, prev := n.dijkstra(src, dst, banned, nil)
+		p, ok := n.extractPath(src, dst, dist, prev)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, li := range p.Links {
+			banned[li] = true
+		}
+	}
+	return out
+}
+
+// MultiSourceDistances runs Dijkstra from each source in parallel-friendly
+// sequence and returns dist[i] for sources[i]. Callers parallelize across
+// sources themselves when needed; this helper exists for tests.
+func (n *Network) MultiSourceDistances(sources []int32) [][]float64 {
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
+		d, _ := n.Dijkstra(s, nil)
+		out[i] = d
+	}
+	return out
+}
+
+// Components labels connected components (ignoring capacities) and returns
+// the component ID per node and the component count.
+func (n *Network) Components() (comp []int32, count int) {
+	nn := n.N()
+	comp = make([]int32, nn)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	for v := 0; v < nn; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		stack = append(stack[:0], int32(v))
+		comp[v] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range n.adj[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = id
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+	return comp, count
+}

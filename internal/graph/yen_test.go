@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+
+	"leosim/internal/geo"
+)
+
+// diamond: a→b with three routes of increasing delay:
+// direct via s1 (short), via s2 (medium), via s3 (long).
+func diamondNet() (*Network, int32, int32) {
+	n := &Network{}
+	a := n.AddNode(NodeCity, geo.LL(0, 0).ToECEF(), "a")
+	b := n.AddNode(NodeCity, geo.LL(0, 30).ToECEF(), "b")
+	s1 := n.AddNode(NodeSatellite, geo.LatLon{Lat: 1, Lon: 15, Alt: 550}.ToECEF(), "s1")
+	s2 := n.AddNode(NodeSatellite, geo.LatLon{Lat: 8, Lon: 15, Alt: 550}.ToECEF(), "s2")
+	s3 := n.AddNode(NodeSatellite, geo.LatLon{Lat: 16, Lon: 15, Alt: 550}.ToECEF(), "s3")
+	for _, s := range []int32{s1, s2, s3} {
+		n.AddLink(a, s, LinkGSL, 20)
+		n.AddLink(s, b, LinkGSL, 20)
+	}
+	return n, a, b
+}
+
+func TestKShortestOrdering(t *testing.T) {
+	n, a, b := diamondNet()
+	paths := n.KShortestPaths(a, b, 3)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].OneWayMs < paths[i-1].OneWayMs {
+			t.Fatalf("paths out of order: %v then %v", paths[i-1].OneWayMs, paths[i].OneWayMs)
+		}
+	}
+	// First equals the plain shortest path.
+	best, _ := n.ShortestPath(a, b)
+	if !samePath(paths[0], best) {
+		t.Errorf("first Yen path is not the shortest path")
+	}
+	// All distinct.
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			if samePath(paths[i], paths[j]) {
+				t.Fatalf("duplicate paths %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestKShortestExhaustsAlternatives(t *testing.T) {
+	n, a, b := diamondNet()
+	paths := n.KShortestPaths(a, b, 10)
+	// Only 3 loopless simple routes exist in the diamond.
+	if len(paths) != 3 {
+		t.Errorf("got %d paths, want 3", len(paths))
+	}
+}
+
+func TestKShortestSharedLinks(t *testing.T) {
+	// A graph where the 2nd-shortest path shares the first hop with the
+	// best one — Yen must find it, KDisjointPaths must not.
+	n := &Network{}
+	a := n.AddNode(NodeCity, geo.LL(0, 0).ToECEF(), "a")
+	m := n.AddNode(NodeSatellite, geo.LatLon{Lat: 0, Lon: 10, Alt: 550}.ToECEF(), "m")
+	b := n.AddNode(NodeCity, geo.LL(0, 30).ToECEF(), "b")
+	x := n.AddNode(NodeSatellite, geo.LatLon{Lat: 6, Lon: 20, Alt: 550}.ToECEF(), "x")
+	n.AddLink(a, m, LinkGSL, 20) // the only exit from a
+	n.AddLink(m, b, LinkGSL, 20)
+	n.AddLink(m, x, LinkISL, 100)
+	n.AddLink(x, b, LinkGSL, 20)
+	yen := n.KShortestPaths(a, b, 2)
+	if len(yen) != 2 {
+		t.Fatalf("yen found %d paths, want 2", len(yen))
+	}
+	if yen[1].Links[0] != yen[0].Links[0] {
+		t.Errorf("second path should share the first hop")
+	}
+	disjoint := n.KDisjointPaths(a, b, 2)
+	if len(disjoint) != 1 {
+		t.Errorf("disjoint should find only 1 path, got %d", len(disjoint))
+	}
+}
+
+func TestKShortestLoopless(t *testing.T) {
+	n, a, b := diamondNet()
+	for _, p := range n.KShortestPaths(a, b, 5) {
+		seen := map[int32]bool{}
+		for _, v := range p.Nodes {
+			if seen[v] {
+				t.Fatalf("loop through node %d in %v", v, p.Nodes)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestKShortestEdgeCases(t *testing.T) {
+	n, a, b := diamondNet()
+	if got := n.KShortestPaths(a, b, 0); got != nil {
+		t.Errorf("k=0 should return nil")
+	}
+	iso := n.AddNode(NodeCity, geo.LL(50, 50).ToECEF(), "island")
+	if got := n.KShortestPaths(a, iso, 3); got != nil {
+		t.Errorf("unreachable target should return nil")
+	}
+	// Path to self: Dijkstra yields the empty path.
+	self := n.KShortestPaths(a, a, 2)
+	if len(self) == 0 || self[0].Hops() != 0 {
+		t.Errorf("self path should be empty: %+v", self)
+	}
+}
+
+func TestStatsOfPaths(t *testing.T) {
+	n, a, b := diamondNet()
+	paths := n.KShortestPaths(a, b, 3)
+	st := StatsOfPaths(paths)
+	if st.Count != 3 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.SpreadMs <= 0 {
+		t.Errorf("spread = %v", st.SpreadMs)
+	}
+	if st.MinMs != paths[0].OneWayMs {
+		t.Errorf("min = %v, want %v", st.MinMs, paths[0].OneWayMs)
+	}
+	// Diamond alternatives are fully disjoint from the best.
+	if st.SharedLinkFrac != 0 {
+		t.Errorf("shared fraction = %v, want 0", st.SharedLinkFrac)
+	}
+	if StatsOfPaths(nil).Count != 0 {
+		t.Errorf("empty stats should be zero")
+	}
+}
+
+func TestKShortestOnBuilderNetwork(t *testing.T) {
+	// Integration: Yen on a real hybrid snapshot returns ordered,
+	// loopless alternatives.
+	_, hy := testSetup(t, true)
+	src, dst := hy.CityNode(0), hy.CityNode(1)
+	paths := hy.KShortestPaths(src, dst, 4)
+	if len(paths) < 2 {
+		t.Fatalf("only %d alternatives on a hybrid snapshot", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].OneWayMs+1e-9 < paths[i-1].OneWayMs {
+			t.Fatalf("ordering violated")
+		}
+	}
+}

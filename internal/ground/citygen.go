@@ -1,0 +1,101 @@
+package ground
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"leosim/internal/geo"
+)
+
+// Cities returns a deterministic dataset of n populous cities, substituting
+// for the GLA dataset. The first len(anchorCities) entries are the real
+// anchors; the remainder are generated procedurally: each generated city is
+// placed on land within a few hundred kilometers of a population-weighted
+// anchor, with a Zipf-tailed population. This preserves the property the
+// experiments depend on — demand clustered in the populated regions of every
+// continent — without shipping the proprietary dataset.
+//
+// Cities are returned sorted by descending population. n must be at least 1;
+// values beyond 5000 are rejected to catch accidental misuse.
+func Cities(n int) ([]City, error) {
+	if n < 1 || n > 5000 {
+		return nil, fmt.Errorf("ground: city count %d outside [1,5000]", n)
+	}
+	anchors := make([]City, len(anchorCities))
+	copy(anchors, anchorCities)
+	sort.SliceStable(anchors, func(i, j int) bool { return anchors[i].Pop > anchors[j].Pop })
+	if n <= len(anchors) {
+		return anchors[:n], nil
+	}
+
+	out := anchors
+	rng := rand.New(rand.NewSource(20201104)) // HotNets '20 dates; fixed for determinism
+
+	// Population-weighted anchor sampling.
+	cum := make([]float64, len(anchors))
+	var total float64
+	for i, c := range anchors {
+		total += c.Pop
+		cum[i] = total
+	}
+	pick := func() City {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(anchors) {
+			i = len(anchors) - 1
+		}
+		return anchors[i]
+	}
+
+	// Zipf-ish tail: city ranked r (beyond the anchors) has population
+	// ≈ K/r^0.9, continuing the anchor distribution downward.
+	minAnchorPop := anchors[len(anchors)-1].Pop
+	for len(out) < n {
+		a := pick()
+		// Offset 50–600 km in a random direction; retry until on land.
+		var pos geo.LatLon
+		ok := false
+		for try := 0; try < 40; try++ {
+			brg := rng.Float64() * 360
+			dist := 50 + rng.Float64()*550
+			pos = geo.Destination(geo.LL(a.Lat, a.Lon), brg, dist)
+			if IsLand(pos.Lat, pos.Lon) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			// Coastal anchor surrounded by water at mask resolution:
+			// fall back to the anchor location itself.
+			pos = geo.LL(a.Lat, a.Lon)
+		}
+		rank := float64(len(out) - len(anchors) + 2)
+		pop := minAnchorPop * math.Pow(2/(1+rank), 0.9)
+		out = append(out, City{
+			Name:    fmt.Sprintf("%s-%d", a.Name, len(out)),
+			Country: a.Country,
+			Lat:     round2(pos.Lat),
+			Lon:     round2(pos.Lon),
+			Pop:     pop,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pop > out[j].Pop })
+	return out, nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+// CityByName returns the anchor city with the given name.
+func CityByName(name string) (City, error) {
+	for _, c := range anchorCities {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return City{}, fmt.Errorf("ground: no anchor city named %q", name)
+}
+
+// Position returns the city's surface position.
+func (c City) Position() geo.LatLon { return geo.LL(c.Lat, c.Lon) }

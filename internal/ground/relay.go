@@ -1,0 +1,79 @@
+package ground
+
+import (
+	"math"
+
+	"leosim/internal/geo"
+)
+
+// RelayGrid returns transit-relay positions: points of a uniform
+// spacingDeg × spacingDeg latitude-longitude grid that are on land and within
+// maxDistKm (geodesic) of at least one city. With spacingDeg = 0.5 and
+// maxDistKm = 2000 this reproduces the paper's densest relay deployment
+// ("GTs ... placed uniformly every 0.5° on the latitude-longitude grid within
+// a radius of 2,000 km of the cities").
+func RelayGrid(cities []City, spacingDeg, maxDistKm float64) []geo.LatLon {
+	if spacingDeg <= 0 || len(cities) == 0 {
+		return nil
+	}
+	rows := int(math.Round(180 / spacingDeg))
+	cols := int(math.Round(360 / spacingDeg))
+	near := make([]bool, rows*cols)
+
+	latOf := func(r int) float64 { return -90 + (float64(r)+0.5)*spacingDeg }
+	lonOf := func(c int) float64 { return -180 + (float64(c)+0.5)*spacingDeg }
+
+	// Mark every grid cell within range of each city. Pre-filter by
+	// latitude band, then by true geodesic distance.
+	dLatMax := maxDistKm / 111.19 // km per degree latitude
+	for _, city := range cities {
+		rLo := int(math.Floor((city.Lat - dLatMax + 90) / spacingDeg))
+		rHi := int(math.Ceil((city.Lat + dLatMax + 90) / spacingDeg))
+		if rLo < 0 {
+			rLo = 0
+		}
+		if rHi > rows-1 {
+			rHi = rows - 1
+		}
+		cpos := city.Position()
+		for r := rLo; r <= rHi; r++ {
+			lat := latOf(r)
+			// Longitude reach at this latitude; near the poles a city
+			// reaches all longitudes.
+			cosLat := math.Cos(lat * geo.Deg)
+			var cLo, cHi int
+			if cosLat*111.19*180 <= maxDistKm || cosLat < 1e-6 {
+				cLo, cHi = 0, cols-1
+			} else {
+				dLonMax := maxDistKm / (111.19 * cosLat)
+				cLo = int(math.Floor((city.Lon - dLonMax + 180) / spacingDeg))
+				cHi = int(math.Ceil((city.Lon + dLonMax + 180) / spacingDeg))
+			}
+			for cc := cLo; cc <= cHi; cc++ {
+				c := ((cc % cols) + cols) % cols
+				idx := r*cols + c
+				if near[idx] {
+					continue
+				}
+				if geo.GreatCircleKm(cpos, geo.LL(lat, lonOf(c))) <= maxDistKm {
+					near[idx] = true
+				}
+			}
+		}
+	}
+
+	var out []geo.LatLon
+	for r := 0; r < rows; r++ {
+		lat := latOf(r)
+		for c := 0; c < cols; c++ {
+			if !near[r*cols+c] {
+				continue
+			}
+			lon := lonOf(c)
+			if IsLand(lat, lon) {
+				out = append(out, geo.LL(lat, lon))
+			}
+		}
+	}
+	return out
+}

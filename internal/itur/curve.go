@@ -1,0 +1,180 @@
+package itur
+
+import (
+	"math"
+	"sort"
+)
+
+// Curve is an attenuation exceedance curve: A(p) in dB as a monotone
+// non-increasing function of the exceedance probability p (% of time),
+// sampled at fixed probability points.
+type Curve struct {
+	P []float64 // exceedance probabilities, % (increasing)
+	A []float64 // attenuation exceeded p% of time, dB
+}
+
+// DefaultPGrid is the probability grid (in %) curves are sampled on: the
+// P.618 validity range [0.01, 5] with log spacing, fine enough to resolve
+// the 0.5% and 1% operating points of §6.
+var DefaultPGrid = []float64{
+	0.01, 0.02, 0.03, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7,
+	1, 1.5, 2, 3, 5,
+}
+
+// NewCurve samples the total attenuation of a link over the default grid.
+func NewCurve(lp LinkParams) (Curve, error) {
+	c := Curve{P: DefaultPGrid, A: make([]float64, len(DefaultPGrid))}
+	for i, p := range c.P {
+		a, err := TotalAttenuation(lp, p)
+		if err != nil {
+			return Curve{}, err
+		}
+		c.A[i] = a
+	}
+	// Numerical safety: enforce monotone non-increasing A.
+	for i := 1; i < len(c.A); i++ {
+		if c.A[i] > c.A[i-1] {
+			c.A[i] = c.A[i-1]
+		}
+	}
+	return c, nil
+}
+
+// ZeroCurve is an all-zero curve (a path segment with no radio hop through
+// weather).
+func ZeroCurve() Curve {
+	return Curve{P: DefaultPGrid, A: make([]float64, len(DefaultPGrid))}
+}
+
+// At returns A(p) by log-linear interpolation on the grid; p is clamped to
+// the grid range.
+func (c Curve) At(p float64) float64 {
+	if len(c.P) == 0 {
+		return 0
+	}
+	if p <= c.P[0] {
+		return c.A[0]
+	}
+	if p >= c.P[len(c.P)-1] {
+		return c.A[len(c.A)-1]
+	}
+	i := sort.SearchFloat64s(c.P, p)
+	lo, hi := i-1, i
+	t := (math.Log(p) - math.Log(c.P[lo])) / (math.Log(c.P[hi]) - math.Log(c.P[lo]))
+	return c.A[lo]*(1-t) + c.A[hi]*t
+}
+
+// ExceedanceAt inverts the curve: the probability (% of time) that
+// attenuation exceeds x dB. Values above A(pMin) return pMin; values below
+// A(pMax) return pMax (the curve cannot resolve beyond its grid).
+func (c Curve) ExceedanceAt(x float64) float64 {
+	if len(c.P) == 0 {
+		return DefaultPGrid[len(DefaultPGrid)-1]
+	}
+	if x >= c.A[0] {
+		return c.P[0]
+	}
+	last := len(c.A) - 1
+	if x <= c.A[last] {
+		return c.P[last]
+	}
+	// A is non-increasing; find the bracketing segment.
+	for i := 1; i <= last; i++ {
+		if x >= c.A[i] {
+			// Flat segments make the inverse ambiguous; exceedance of x
+			// is the LARGEST p with A(p) ≥ x, so skip over ties.
+			for i < last && c.A[i+1] >= x {
+				i++
+			}
+			aHi, aLo := c.A[i-1], c.A[i]
+			if aHi == aLo {
+				return c.P[i]
+			}
+			t := (aHi - x) / (aHi - aLo)
+			return math.Exp(math.Log(c.P[i-1])*(1-t) + math.Log(c.P[i])*t)
+		}
+	}
+	return c.P[last]
+}
+
+// WorstOf returns the pointwise maximum of the curves — the attenuation of a
+// multi-hop path when the reported metric is the worst link attenuation
+// (§6: "we find the worst attenuation seen across all links in the path";
+// the model assumes regeneration at each GT, so attenuations do not
+// multiply).
+func WorstOf(curves ...Curve) Curve {
+	out := ZeroCurve()
+	for i := range out.P {
+		for _, c := range curves {
+			if a := c.At(out.P[i]); a > out.A[i] {
+				out.A[i] = a
+			}
+		}
+	}
+	return out
+}
+
+// CombineOverTime merges per-snapshot curves into the overall
+// time-and-weather exceedance curve: for each attenuation level x, the
+// combined exceedance is the mean over snapshots of each snapshot's
+// conditional exceedance of x. The result is resampled onto the default
+// probability grid.
+func CombineOverTime(snapshots []Curve) Curve {
+	if len(snapshots) == 0 {
+		return ZeroCurve()
+	}
+	// Collect candidate attenuation levels across snapshots.
+	var levels []float64
+	for _, c := range snapshots {
+		levels = append(levels, c.A...)
+	}
+	sort.Float64s(levels)
+	levels = dedupFloats(levels)
+
+	// Combined exceedance at each level.
+	exc := make([]float64, len(levels))
+	for i, x := range levels {
+		var sum float64
+		for _, c := range snapshots {
+			sum += c.ExceedanceAt(x)
+		}
+		exc[i] = sum / float64(len(snapshots))
+	}
+
+	// Invert back onto the default grid: for target p, find the largest x
+	// with exceedance ≥ p (levels ascending → exceedance non-increasing).
+	out := ZeroCurve()
+	for i, p := range out.P {
+		// Binary search the first level whose exceedance < p.
+		lo, hi := 0, len(levels)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if exc[mid] >= p*(1-1e-9) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			out.A[i] = levels[0]
+		} else {
+			out.A[i] = levels[lo-1]
+		}
+	}
+	for i := 1; i < len(out.A); i++ {
+		if out.A[i] > out.A[i-1] {
+			out.A[i] = out.A[i-1]
+		}
+	}
+	return out
+}
+
+func dedupFloats(s []float64) []float64 {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package itur_test
+
+import (
+	"fmt"
+
+	"leosim/internal/itur"
+)
+
+// ExampleTotalAttenuation computes the §6-style attenuation of a tropical
+// Ku-band uplink at the 99.5th percentile of time.
+func ExampleTotalAttenuation() {
+	link := itur.LinkParams{
+		LatDeg: 1.35, LonDeg: 103.82, // Singapore
+		ElevationDeg: 40,
+		FreqGHz:      14.25,
+		Pol:          itur.PolCircular,
+	}
+	a, err := itur.TotalAttenuation(link, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("attenuation exceeded 0.5%% of time: %.1f dB (%.0f%% power received)\n",
+		a, itur.ReceivedPowerFraction(a)*100)
+	// Output: attenuation exceeded 0.5% of time: 4.3 dB (37% power received)
+}
+
+// ExampleCurve shows exceedance-curve algebra: the worst link of a path and
+// the combination of two time snapshots.
+func ExampleCurve() {
+	wet, _ := itur.NewCurve(itur.LinkParams{LatDeg: 5, LonDeg: 100, ElevationDeg: 30, FreqGHz: 14.25})
+	dry, _ := itur.NewCurve(itur.LinkParams{LatDeg: 60, LonDeg: 20, ElevationDeg: 60, FreqGHz: 14.25})
+	worst := itur.WorstOf(wet, dry)
+	fmt.Printf("worst-link A(1%%) equals wet link: %v\n", worst.At(1) == wet.At(1))
+	combined := itur.CombineOverTime([]itur.Curve{wet, dry})
+	fmt.Printf("time-mixture A(1%%) between the two: %v\n",
+		combined.At(1) >= dry.At(1)-0.2 && combined.At(1) <= wet.At(1)+0.2)
+	// Output:
+	// worst-link A(1%) equals wet link: true
+	// time-mixture A(1%) between the two: true
+}

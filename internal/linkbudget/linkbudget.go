@@ -1,0 +1,151 @@
+// Package linkbudget turns atmospheric attenuation into capacity: §6 notes
+// that "higher attenuation has to be dealt with by appropriate design for
+// modulation and error correction schemes (MODCOD), and trades off bandwidth
+// for reliability". This package provides that trade-off: a DVB-S2-style
+// adaptive MODCOD ladder maps link SNR (clear-sky budget minus rain/cloud/
+// gas/scintillation attenuation) to spectral efficiency, and therefore to
+// the achievable rate of a ground-satellite link under weather.
+package linkbudget
+
+import (
+	"fmt"
+	"math"
+)
+
+// ModCod is one rung of the adaptive coding-and-modulation ladder.
+type ModCod struct {
+	// Name is the modulation + code-rate label.
+	Name string
+	// MinSNRdB is the Es/N0 threshold at which the rung is usable.
+	MinSNRdB float64
+	// SpectralEff is the efficiency in bit/s/Hz.
+	SpectralEff float64
+}
+
+// DVBS2Ladder is an approximate DVB-S2 MODCOD ladder (threshold values to
+// the precision the capacity-retention analysis needs; real systems add
+// implementation margins).
+var DVBS2Ladder = []ModCod{
+	{"QPSK 1/4", -2.4, 0.49},
+	{"QPSK 1/3", -1.2, 0.66},
+	{"QPSK 2/5", -0.3, 0.79},
+	{"QPSK 1/2", 1.0, 0.99},
+	{"QPSK 3/5", 2.2, 1.19},
+	{"QPSK 2/3", 3.1, 1.32},
+	{"QPSK 3/4", 4.0, 1.49},
+	{"QPSK 4/5", 4.7, 1.59},
+	{"QPSK 5/6", 5.2, 1.65},
+	{"8PSK 3/5", 5.5, 1.78},
+	{"8PSK 2/3", 6.6, 1.98},
+	{"8PSK 3/4", 7.9, 2.23},
+	{"8PSK 5/6", 9.4, 2.48},
+	{"16APSK 2/3", 9.0, 2.64},
+	{"16APSK 3/4", 10.2, 2.97},
+	{"16APSK 4/5", 11.0, 3.17},
+	{"16APSK 5/6", 11.6, 3.30},
+	{"16APSK 8/9", 12.9, 3.52},
+	{"32APSK 3/4", 12.7, 3.70},
+	{"32APSK 4/5", 13.6, 3.95},
+	{"32APSK 5/6", 14.3, 4.12},
+	{"32APSK 8/9", 15.7, 4.40},
+}
+
+// Budget describes one adaptive radio link.
+type Budget struct {
+	// ClearSkySNRdB is the Es/N0 at the reference slant range with no
+	// atmospheric attenuation.
+	ClearSkySNRdB float64
+	// RefRangeKm is the slant range the clear-sky SNR is quoted at;
+	// longer ranges lose 20·log10(d/ref) dB of free-space spreading.
+	RefRangeKm float64
+	// BandwidthMHz is the occupied bandwidth determining the absolute
+	// rate (rate = efficiency × bandwidth).
+	BandwidthMHz float64
+	// Ladder is the MODCOD ladder; nil uses DVBS2Ladder.
+	Ladder []ModCod
+}
+
+// StarlinkKuBudget returns a budget calibrated so a clear-sky link at the
+// maximum Starlink slant range (≈1,123 km at e=25°) achieves ≈20 Gbps —
+// the paper's §5 GT-satellite capacity — on the DVB-S2 ladder.
+func StarlinkKuBudget() Budget {
+	return Budget{
+		// 16 dB at max range: 32APSK 8/9 usable with a small margin.
+		ClearSkySNRdB: 16,
+		RefRangeKm:    1123,
+		// 4.40 bit/s/Hz × 4,545 MHz ≈ 20 Gbps.
+		BandwidthMHz: 4545,
+	}
+}
+
+// SNRdB returns the link SNR at slant range rangeKm with attenuation
+// attenDB of excess atmospheric loss.
+func (b Budget) SNRdB(rangeKm, attenDB float64) float64 {
+	snr := b.ClearSkySNRdB - attenDB
+	if rangeKm > 0 && b.RefRangeKm > 0 {
+		snr -= 20 * math.Log10(rangeKm/b.RefRangeKm)
+	}
+	return snr
+}
+
+// Select returns the highest MODCOD usable at the given SNR, or ok=false
+// when even the most robust rung cannot close the link (outage).
+func (b Budget) Select(snrDB float64) (ModCod, bool) {
+	ladder := b.Ladder
+	if ladder == nil {
+		ladder = DVBS2Ladder
+	}
+	best := -1
+	for i, mc := range ladder {
+		if snrDB >= mc.MinSNRdB && (best < 0 || mc.SpectralEff > ladder[best].SpectralEff) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ModCod{}, false
+	}
+	return ladder[best], true
+}
+
+// RateGbps returns the achievable rate at slant range rangeKm under
+// attenDB of atmospheric attenuation. Zero means outage.
+func (b Budget) RateGbps(rangeKm, attenDB float64) float64 {
+	mc, ok := b.Select(b.SNRdB(rangeKm, attenDB))
+	if !ok {
+		return 0
+	}
+	return mc.SpectralEff * b.BandwidthMHz * 1e6 / 1e9
+}
+
+// CapacityRetention returns the fraction of clear-sky rate retained under
+// attenDB of attenuation at the same range.
+func (b Budget) CapacityRetention(rangeKm, attenDB float64) float64 {
+	clear := b.RateGbps(rangeKm, 0)
+	if clear <= 0 {
+		return 0
+	}
+	return b.RateGbps(rangeKm, attenDB) / clear
+}
+
+// Validate checks the budget parameters.
+func (b Budget) Validate() error {
+	if b.BandwidthMHz <= 0 {
+		return fmt.Errorf("linkbudget: bandwidth must be positive")
+	}
+	if b.RefRangeKm < 0 {
+		return fmt.Errorf("linkbudget: negative reference range")
+	}
+	ladder := b.Ladder
+	if ladder == nil {
+		ladder = DVBS2Ladder
+	}
+	if len(ladder) == 0 {
+		return fmt.Errorf("linkbudget: empty MODCOD ladder")
+	}
+	for _, mc := range ladder {
+		if mc.SpectralEff <= 0 {
+			return fmt.Errorf("linkbudget: MODCOD %q has non-positive efficiency", mc.Name)
+		}
+	}
+	return nil
+}

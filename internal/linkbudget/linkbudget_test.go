@@ -1,0 +1,142 @@
+package linkbudget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLadderConsistency(t *testing.T) {
+	// Within one modulation family, higher thresholds buy higher
+	// efficiency; and overall efficiency spans the DVB-S2 range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, mc := range DVBS2Ladder {
+		if mc.SpectralEff <= 0 {
+			t.Errorf("%s has non-positive efficiency", mc.Name)
+		}
+		lo = math.Min(lo, mc.SpectralEff)
+		hi = math.Max(hi, mc.SpectralEff)
+	}
+	if lo > 0.5 || hi < 4 {
+		t.Errorf("ladder range [%v,%v] not DVB-S2-like", lo, hi)
+	}
+}
+
+func TestSelectMonotone(t *testing.T) {
+	b := StarlinkKuBudget()
+	prevEff := 0.0
+	for snr := -5.0; snr <= 20; snr += 0.25 {
+		mc, ok := b.Select(snr)
+		if !ok {
+			if snr >= -2.4 {
+				t.Fatalf("link should close at %v dB", snr)
+			}
+			continue
+		}
+		if mc.SpectralEff < prevEff {
+			t.Fatalf("efficiency decreased with SNR at %v dB: %v < %v",
+				snr, mc.SpectralEff, prevEff)
+		}
+		prevEff = mc.SpectralEff
+	}
+	// Below the lowest rung: outage.
+	if _, ok := b.Select(-10); ok {
+		t.Errorf("should be in outage at −10 dB")
+	}
+	// At the top: the best rung.
+	mc, _ := b.Select(100)
+	if mc.Name != "32APSK 8/9" {
+		t.Errorf("best rung = %s", mc.Name)
+	}
+}
+
+func TestStarlinkCalibration(t *testing.T) {
+	b := StarlinkKuBudget()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Clear sky at max slant range ≈ 20 Gbps (§5's GSL capacity).
+	r := b.RateGbps(1123, 0)
+	if r < 18 || r > 22 {
+		t.Errorf("clear-sky rate at max range = %v Gbps, want ≈20", r)
+	}
+	// Closer satellites (shorter slant range) never do worse.
+	if b.RateGbps(600, 0) < r {
+		t.Errorf("shorter range should not reduce rate")
+	}
+}
+
+func TestWeatherDegradation(t *testing.T) {
+	b := StarlinkKuBudget()
+	// A few dB of rain fade forces a lower MODCOD → lower rate.
+	clear := b.RateGbps(1123, 0)
+	faded := b.RateGbps(1123, 5)
+	if faded >= clear {
+		t.Errorf("5 dB fade should reduce rate: %v vs %v", faded, clear)
+	}
+	if faded <= 0 {
+		t.Errorf("5 dB fade should not cause outage at 16 dB clear-sky")
+	}
+	// Deep fade → outage.
+	if r := b.RateGbps(1123, 25); r != 0 {
+		t.Errorf("25 dB fade should be outage, got %v Gbps", r)
+	}
+	// Retention is in [0,1] and decreasing in attenuation.
+	prev := 1.0
+	for a := 0.0; a <= 25; a += 0.5 {
+		ret := b.CapacityRetention(1123, a)
+		if ret < 0 || ret > 1+1e-9 {
+			t.Fatalf("retention %v out of range", ret)
+		}
+		if ret > prev+1e-9 {
+			t.Fatalf("retention increased with attenuation at %v dB", a)
+		}
+		prev = ret
+	}
+}
+
+func TestSNRRangeScaling(t *testing.T) {
+	b := StarlinkKuBudget()
+	// Doubling the range costs 6.02 dB of spreading loss.
+	d := b.SNRdB(1123, 0) - b.SNRdB(2246, 0)
+	if math.Abs(d-6.02) > 0.01 {
+		t.Errorf("range doubling cost %v dB, want ≈6.02", d)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := StarlinkKuBudget()
+	bad.BandwidthMHz = 0
+	if bad.Validate() == nil {
+		t.Errorf("zero bandwidth must fail")
+	}
+	bad = StarlinkKuBudget()
+	bad.Ladder = []ModCod{}
+	if bad.Validate() == nil {
+		t.Errorf("empty ladder must fail")
+	}
+	bad.Ladder = []ModCod{{Name: "x", MinSNRdB: 0, SpectralEff: -1}}
+	if bad.Validate() == nil {
+		t.Errorf("negative efficiency must fail")
+	}
+}
+
+// Property: rate is monotone non-increasing in attenuation for any range.
+func TestRateMonotoneProperty(t *testing.T) {
+	b := StarlinkKuBudget()
+	f := func(rangeRaw, a1Raw, a2Raw float64) bool {
+		rng := 300 + math.Mod(math.Abs(rangeRaw), 2000)
+		a1 := math.Mod(math.Abs(a1Raw), 30)
+		a2 := math.Mod(math.Abs(a2Raw), 30)
+		if math.IsNaN(rng) || math.IsNaN(a1) || math.IsNaN(a2) {
+			return true
+		}
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return b.RateGbps(rng, a1) >= b.RateGbps(rng, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

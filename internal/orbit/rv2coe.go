@@ -1,0 +1,121 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"leosim/internal/geo"
+)
+
+// ElementsFromRV recovers classical (osculating) orbital elements from an
+// ECI position (km) and velocity (km/s) — the standard rv2coe conversion.
+// It is the inverse of the propagators' element→state mapping and is used to
+// validate SGP4 output (inclination, semi-major axis) and to ingest state
+// vectors from external sources.
+//
+// Degenerate geometries are handled conventionally: for (near-)circular
+// orbits the argument of perigee is folded into the anomaly measured from
+// the ascending node; for (near-)equatorial orbits the RAAN is folded into
+// the argument of latitude.
+func ElementsFromRV(r, v geo.Vec3, epoch time.Time) (Elements, error) {
+	rn := r.Norm()
+	vn := v.Norm()
+	if rn == 0 {
+		return Elements{}, fmt.Errorf("orbit: zero position vector")
+	}
+	mu := geo.EarthMu
+
+	// Specific angular momentum and node vector.
+	h := r.Cross(v)
+	hn := h.Norm()
+	if hn == 0 {
+		return Elements{}, fmt.Errorf("orbit: rectilinear trajectory (h = 0)")
+	}
+	k := geo.Vec3{Z: 1}
+	node := k.Cross(h)
+	nn := node.Norm()
+
+	// Eccentricity vector.
+	rv := r.Dot(v)
+	evec := r.Scale(vn*vn - mu/rn).Sub(v.Scale(rv)).Scale(1 / mu)
+	ecc := evec.Norm()
+
+	// Specific energy → semi-major axis.
+	energy := vn*vn/2 - mu/rn
+	if energy >= 0 {
+		return Elements{}, fmt.Errorf("orbit: non-elliptical orbit (energy %.3f ≥ 0)", energy)
+	}
+	a := -mu / (2 * energy)
+
+	inc := math.Acos(clamp(h.Z/hn, -1, 1))
+
+	const small = 1e-10
+	var raan, argp, nu float64
+	switch {
+	case nn > small && ecc > small:
+		raan = math.Acos(clamp(node.X/nn, -1, 1))
+		if node.Y < 0 {
+			raan = 2*math.Pi - raan
+		}
+		argp = math.Acos(clamp(node.Dot(evec)/(nn*ecc), -1, 1))
+		if evec.Z < 0 {
+			argp = 2*math.Pi - argp
+		}
+		nu = math.Acos(clamp(evec.Dot(r)/(ecc*rn), -1, 1))
+		if rv < 0 {
+			nu = 2*math.Pi - nu
+		}
+	case nn > small: // circular inclined: ν measured from the node
+		raan = math.Acos(clamp(node.X/nn, -1, 1))
+		if node.Y < 0 {
+			raan = 2*math.Pi - raan
+		}
+		argp = 0
+		nu = math.Acos(clamp(node.Dot(r)/(nn*rn), -1, 1))
+		if r.Z < 0 {
+			nu = 2*math.Pi - nu
+		}
+	case ecc > small: // elliptical equatorial: ω measured from +X
+		raan = 0
+		argp = math.Acos(clamp(evec.X/ecc, -1, 1))
+		if evec.Y < 0 {
+			argp = 2*math.Pi - argp
+		}
+		nu = math.Acos(clamp(evec.Dot(r)/(ecc*rn), -1, 1))
+		if rv < 0 {
+			nu = 2*math.Pi - nu
+		}
+	default: // circular equatorial: true longitude from +X
+		raan, argp = 0, 0
+		nu = math.Acos(clamp(r.X/rn, -1, 1))
+		if r.Y < 0 {
+			nu = 2*math.Pi - nu
+		}
+	}
+
+	// True anomaly → eccentric → mean.
+	ea := 2 * math.Atan2(math.Sqrt(1-ecc)*math.Sin(nu/2), math.Sqrt(1+ecc)*math.Cos(nu/2))
+	ma := ea - ecc*math.Sin(ea)
+	ma = math.Mod(ma+2*math.Pi, 2*math.Pi)
+
+	return Elements{
+		SemiMajorKm:    a,
+		Eccentricity:   ecc,
+		InclinationRad: inc,
+		RAANRad:        raan,
+		ArgPerigeeRad:  argp,
+		MeanAnomalyRad: ma,
+		Epoch:          epoch,
+	}, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,260 @@
+// Package routing implements routing schemes beyond shortest-path — in
+// particular the minimum-maximum-utilization scheme §5 flags as future work
+// ("A routing scheme that minimizes the maximum utilization, for example,
+// can offer higher throughput, albeit at the cost of increased latency").
+//
+// The scheme is a greedy traffic-engineering heuristic: demands are routed
+// one sub-flow at a time over the path minimizing a congestion-aware cost,
+// where each link's cost grows with its current utilization. This spreads
+// load off hot links, raising aggregate max-min throughput relative to pure
+// shortest-delay multipath at some latency cost — exactly the trade-off the
+// paper predicts.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"leosim/internal/graph"
+)
+
+// Demand is one unit of traffic to route: k sub-flows from Src to Dst.
+type Demand struct {
+	Src, Dst int32
+	K        int
+}
+
+// Assignment is the routing outcome for one demand.
+type Assignment struct {
+	Demand Demand
+	Paths  []graph.Path
+}
+
+// Options tune the congestion-aware router.
+type Options struct {
+	// Alpha scales the congestion penalty: a link's routing cost is
+	// delay · (1 + Alpha·utilization²). Zero reduces to shortest-delay.
+	Alpha float64
+	// UnitGbps is the nominal rate each sub-flow contributes to link
+	// utilization while routing (the allocator later decides true rates).
+	UnitGbps float64
+	// DisjointWithinDemand forces the K sub-flows of one demand onto
+	// edge-disjoint paths, as the paper's baseline scheme does.
+	DisjointWithinDemand bool
+}
+
+// DefaultOptions mirror the paper's setup: 4 edge-disjoint sub-flows, a
+// strong congestion penalty, and 1 Gbps of nominal load per sub-flow.
+func DefaultOptions() Options {
+	return Options{Alpha: 8, UnitGbps: 1, DisjointWithinDemand: true}
+}
+
+// MinMaxUtilization routes all demands over network n with congestion-aware
+// costs and returns the per-demand assignments. Demands are processed in
+// decreasing-K then input order (deterministic).
+func MinMaxUtilization(n *graph.Network, demands []Demand, opts Options) ([]Assignment, error) {
+	if opts.UnitGbps <= 0 {
+		return nil, fmt.Errorf("routing: UnitGbps must be positive, got %v", opts.UnitGbps)
+	}
+	load := make([]float64, len(n.Links)) // nominal Gbps per undirected link
+
+	cost := func(li int32) float64 {
+		l := n.Links[li]
+		if l.CapGbps <= 0 {
+			return math.Inf(1)
+		}
+		u := load[li] / l.CapGbps
+		return l.OneWayMs * (1 + opts.Alpha*u*u)
+	}
+
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return demands[order[a]].K > demands[order[b]].K
+	})
+
+	out := make([]Assignment, len(demands))
+	for _, di := range order {
+		d := demands[di]
+		if d.K < 1 {
+			return nil, fmt.Errorf("routing: demand %d has K=%d", di, d.K)
+		}
+		asg := Assignment{Demand: d}
+		banned := map[int32]bool{}
+		for k := 0; k < d.K; k++ {
+			p, ok := dijkstraCost(n, d.Src, d.Dst, cost, banned)
+			if !ok {
+				break
+			}
+			asg.Paths = append(asg.Paths, p)
+			for _, li := range p.Links {
+				load[li] += opts.UnitGbps
+				if opts.DisjointWithinDemand {
+					banned[li] = true
+				}
+			}
+		}
+		out[di] = asg
+	}
+	return out, nil
+}
+
+// MaxUtilization reports the highest nominal link utilization implied by the
+// assignments at UnitGbps per sub-flow — the quantity the scheme minimizes.
+func MaxUtilization(n *graph.Network, asgs []Assignment, unitGbps float64) float64 {
+	load := make([]float64, len(n.Links))
+	for _, a := range asgs {
+		for _, p := range a.Paths {
+			for _, li := range p.Links {
+				load[li] += unitGbps
+			}
+		}
+	}
+	max := 0.0
+	for li, l := range n.Links {
+		if l.CapGbps <= 0 {
+			continue
+		}
+		if u := load[li] / l.CapGbps; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// MeanPathDelayMs returns the mean one-way delay across all routed sub-flow
+// paths — the latency cost of traffic engineering.
+func MeanPathDelayMs(asgs []Assignment) float64 {
+	var sum float64
+	var n int
+	for _, a := range asgs {
+		for _, p := range a.Paths {
+			sum += p.OneWayMs
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// dijkstraCost is Dijkstra over an arbitrary per-link cost function. It
+// mirrors Network.Dijkstra but cannot share its implementation because the
+// link weight is dynamic.
+func dijkstraCost(n *graph.Network, src, dst int32, cost func(int32) float64,
+	banned map[int32]bool) (graph.Path, bool) {
+
+	nn := n.N()
+	dist := make([]float64, nn)
+	delay := make([]float64, nn)
+	prev := make([]int32, nn)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &costPQ{{node: src}}
+	for len(*q) > 0 {
+		it := popPQ(q)
+		if it.cost > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, e := range n.Edges(it.node) {
+			if banned[e.Link] {
+				continue
+			}
+			c := cost(e.Link)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			nd := it.cost + c
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				delay[e.To] = delay[it.node] + n.Links[e.Link].OneWayMs
+				prev[e.To] = e.Link
+				pushPQ(q, pqEntry{node: e.To, cost: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return graph.Path{}, false
+	}
+	// Walk back.
+	var nodes, links []int32
+	at := dst
+	for at != src {
+		li := prev[at]
+		if li < 0 {
+			return graph.Path{}, false
+		}
+		nodes = append(nodes, at)
+		links = append(links, li)
+		l := n.Links[li]
+		if l.A == at {
+			at = l.B
+		} else {
+			at = l.A
+		}
+	}
+	nodes = append(nodes, src)
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return graph.Path{Nodes: nodes, Links: links, OneWayMs: delay[dst]}, true
+}
+
+type pqEntry struct {
+	node int32
+	cost float64
+}
+
+type costPQ []pqEntry
+
+func (q costPQ) less(i, j int) bool { return q[i].cost < q[j].cost }
+
+func pushPQ(q *costPQ, e pqEntry) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*q).less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func popPQ(q *costPQ) pqEntry {
+	top := (*q)[0]
+	n := len(*q) - 1
+	(*q)[0] = (*q)[n]
+	*q = (*q)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*q).less(l, small) {
+			small = l
+		}
+		if r < n && (*q).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
+		i = small
+	}
+	return top
+}

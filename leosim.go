@@ -1,0 +1,265 @@
+// Package leosim reproduces the analysis of "'Internet from Space' without
+// Inter-satellite Links?" (Hauri, Bhattacherjee, Grossmann, Singla —
+// ACM HotNets 2020): a comparison of bent-pipe (BP) and hybrid (BP+ISL)
+// connectivity for LEO broadband mega-constellations across latency and its
+// variability, network-wide throughput, and resilience to weather.
+//
+// This root package is the public facade: it re-exports the experiment
+// engine (internal/core), the constellation/orbit/ground substrates it is
+// built from, and convenience constructors, so downstream users program
+// against one import path:
+//
+//	sim, err := leosim.NewSim(leosim.Starlink, leosim.ReducedScale())
+//	res, err := leosim.RunLatency(sim)
+//	leosim.WriteLatencyReport(os.Stdout, res, 20)
+//
+// The deeper layers remain available for specialised use — orbital mechanics
+// (internal/orbit: Kepler + a full SGP4 port with TLE I/O), Walker-shell and
+// +Grid ISL generation (internal/constellation), the ground segment with
+// city dataset, relay grids and the GSO arc-avoidance rule (internal/ground),
+// synthetic air traffic (internal/aircraft), the snapshot graph engine
+// (internal/graph), the max-min fair allocator (internal/flow), and the
+// ITU-R attenuation models (internal/itur).
+package leosim
+
+import (
+	"io"
+	"time"
+
+	"leosim/internal/constellation"
+	"leosim/internal/core"
+	"leosim/internal/geo"
+	"leosim/internal/ground"
+	"leosim/internal/itur"
+	"leosim/internal/stats"
+)
+
+// Connectivity modes and constellation choices.
+const (
+	// BP is bent-pipe-only connectivity (no ISLs).
+	BP = core.BP
+	// Hybrid is BP plus +Grid laser ISLs.
+	Hybrid = core.Hybrid
+	// Starlink selects the 72×22 / 550 km / 53° phase-1 shell.
+	Starlink = core.Starlink
+	// Kuiper selects the 34×34 / 630 km / 51.9° phase-1 shell.
+	Kuiper = core.Kuiper
+)
+
+// Core experiment types.
+type (
+	// Sim is a fully assembled simulation (constellation, ground segment,
+	// aircraft fleet, traffic matrix).
+	Sim = core.Sim
+	// Scale sizes an experiment (see FullScale, ReducedScale, TinyScale).
+	Scale = core.Scale
+	// Mode selects BP or Hybrid connectivity.
+	Mode = core.Mode
+	// ConstellationChoice selects Starlink or Kuiper.
+	ConstellationChoice = core.ConstellationChoice
+	// Pair is one traffic demand between two cities.
+	Pair = core.Pair
+	// LatencyResult is the Fig 2 output.
+	LatencyResult = core.LatencyResult
+	// ThroughputResult is one §5 throughput data point.
+	ThroughputResult = core.ThroughputResult
+	// Fig4Row is one cell of the Fig 4 matrix.
+	Fig4Row = core.Fig4Row
+	// Fig5Point is one point of the Fig 5 ISL-capacity sweep.
+	Fig5Point = core.Fig5Point
+	// WeatherResult is the Fig 6 output.
+	WeatherResult = core.WeatherResult
+	// PairWeather is the Fig 7/8 single-pair weather comparison.
+	PairWeather = core.PairWeather
+	// DisconnectResult is the §5 disconnected-satellite statistic.
+	DisconnectResult = core.DisconnectResult
+	// PathTraceResult is the Fig 3 path trace.
+	PathTraceResult = core.PathTraceResult
+	// CrossShellResult is the Fig 10 BP-augmentation result.
+	CrossShellResult = core.CrossShellResult
+	// FiberResult is the Fig 11 fiber-augmentation result.
+	FiberResult = core.FiberResult
+	// GSORow is one latitude row of the Fig 9 GSO-arc analysis.
+	GSORow = core.GSORow
+	// TEResult compares shortest-delay vs min-max-utilization routing.
+	TEResult = core.TEResult
+	// Band is a frequency plan for the weather experiments.
+	Band = core.Band
+	// ModcodResult is the capacity-retention extension of §6.
+	ModcodResult = core.ModcodResult
+	// UtilizationResult is the per-satellite load distribution.
+	UtilizationResult = core.UtilizationResult
+	// PathChurnResult is the path-stability comparison.
+	PathChurnResult = core.PathChurnResult
+	// HeatmapResult is the Fig 7 regional attenuation map.
+	HeatmapResult = core.HeatmapResult
+	// BeamPoint is one cell of the beam-limit sweep.
+	BeamPoint = core.BeamPoint
+	// RelayPoint is one cell of the relay-density sweep.
+	RelayPoint = core.RelayPoint
+	// GSOImpactResult is §7's end-to-end arc-avoidance comparison.
+	GSOImpactResult = core.GSOImpactResult
+	// Shell describes one orbital shell.
+	Shell = constellation.Shell
+	// City is one traffic source/sink.
+	City = ground.City
+	// Summary holds summary statistics.
+	Summary = stats.Summary
+	// Curve is an attenuation exceedance curve.
+	Curve = itur.Curve
+	// LatLon is a geodetic position.
+	LatLon = geo.LatLon
+	// SimOption tweaks simulation construction.
+	SimOption = core.SimOption
+)
+
+// Experiment sizing presets.
+var (
+	// FullScale reproduces the paper's sizing (1,000 cities, 5,000 pairs,
+	// 0.5° relays, 96×15-min snapshots). Minutes to hours of CPU.
+	FullScale = core.FullScale
+	// LargeScale approaches the paper's contention level; minutes/experiment.
+	LargeScale = core.LargeScale
+	// ReducedScale runs every experiment in tens of seconds.
+	ReducedScale = core.ReducedScale
+	// TinyScale keeps unit tests fast.
+	TinyScale = core.TinyScale
+)
+
+// Simulation construction.
+var (
+	// NewSim assembles a simulation for a constellation at a scale.
+	NewSim = core.NewSim
+	// WithGSOAvoidance applies the §7 GSO arc-avoidance constraint.
+	WithGSOAvoidance = core.WithGSOAvoidance
+	// WithMinElevation overrides the minimum elevation angle.
+	WithMinElevation = core.WithMinElevation
+	// WithExtraShells adds shells beyond the chosen preset.
+	WithExtraShells = core.WithExtraShells
+	// WithSGP4Propagation switches the propagator to SGP4.
+	WithSGP4Propagation = core.WithSGP4Propagation
+	// WithSatelliteCapacity sets the per-satellite aggregate GSL pool
+	// (default 20 Gbps; 0 disables — the per-link-only ablation model).
+	WithSatelliteCapacity = core.WithSatelliteCapacity
+	// Cities returns the n-most-populous city dataset.
+	Cities = ground.Cities
+	// SamplePairs draws the paper's traffic matrix.
+	SamplePairs = core.SamplePairs
+)
+
+// Experiments — one per table/figure of the paper's evaluation.
+var (
+	// RunLatency runs §4 / Fig 2 (latency and its variability).
+	RunLatency = core.RunLatency
+	// RunPathTrace runs Fig 3 (per-snapshot path trace).
+	RunPathTrace = core.RunPathTrace
+	// RunThroughput computes one §5 throughput cell.
+	RunThroughput = core.RunThroughput
+	// RunFig4 evaluates the Fig 4 matrix ({BP,Hybrid} × {k=1,4}).
+	RunFig4 = core.RunFig4
+	// RunFig5 sweeps ISL capacity (Fig 5).
+	RunFig5 = core.RunFig5
+	// RunDisconnected measures BP's stranded satellites (§5).
+	RunDisconnected = core.RunDisconnected
+	// RunWeather runs §6 / Fig 6 (attenuation across pairs, Ku band).
+	RunWeather = core.RunWeather
+	// RunWeatherBand runs Fig 6 at another frequency plan (e.g. KaBand).
+	RunWeatherBand = core.RunWeatherBand
+	// RunPairWeather runs Fig 7/8 for one named pair.
+	RunPairWeather = core.RunPairWeather
+	// RunGSOArc quantifies Fig 9 (GSO arc avoidance).
+	RunGSOArc = core.RunGSOArc
+	// RunCrossShell quantifies Fig 10 (BP augmentation across shells).
+	RunCrossShell = core.RunCrossShell
+	// RunFiberAugmentation quantifies Fig 11 (fiber augmentation).
+	RunFiberAugmentation = core.RunFiberAugmentation
+	// RunTrafficEngineering evaluates §5's future-work routing scheme
+	// (minimize max utilization) against shortest-delay multipath.
+	RunTrafficEngineering = core.RunTrafficEngineering
+	// RunWeatherCapacity converts §6's attenuation into capacity
+	// retention through an adaptive MODCOD ladder.
+	RunWeatherCapacity = core.RunWeatherCapacity
+	// RunUtilization measures per-satellite carried load (§5's unused
+	// satellites, beyond mere disconnection).
+	RunUtilization = core.RunUtilization
+	// RunPathChurn measures how often each pair's path changes (§4).
+	RunPathChurn = core.RunPathChurn
+	// RunHeatmap computes the Fig 7 regional attenuation map with the
+	// BP/ISL path overlays.
+	RunHeatmap = core.RunHeatmap
+	// RunBeamSweep quantifies §2's frequency-management assumption by
+	// capping simultaneous beams per satellite.
+	RunBeamSweep = core.RunBeamSweep
+	// RunRelayDensitySweep shows what coarser relay grids cost BP.
+	RunRelayDensitySweep = core.RunRelayDensitySweep
+	// RunGSOImpact measures §7's end-to-end effect of arc avoidance.
+	RunGSOImpact = core.RunGSOImpact
+)
+
+// Report writers (text renderings of each figure/table).
+var (
+	WriteLatencyReport     = core.WriteLatencyReport
+	WriteFig4Report        = core.WriteFig4Report
+	WriteFig5Report        = core.WriteFig5Report
+	WriteWeatherReport     = core.WriteWeatherReport
+	WritePairWeatherReport = core.WritePairWeatherReport
+	WriteDisconnectReport  = core.WriteDisconnectReport
+	WriteGSOReport         = core.WriteGSOReport
+	WriteCrossShellReport  = core.WriteCrossShellReport
+	WriteFiberReport       = core.WriteFiberReport
+	WriteTEReport          = core.WriteTEReport
+	WriteModcodReport      = core.WriteModcodReport
+	WriteUtilizationReport = core.WriteUtilizationReport
+	WriteHeatmapReport     = core.WriteHeatmapReport
+	WriteBeamReport        = core.WriteBeamReport
+	WriteRelayReport       = core.WriteRelayReport
+	WriteGSOImpactReport   = core.WriteGSOImpactReport
+	WritePathChurnReport   = core.WritePathChurnReport
+	// WriteJSON emits any experiment result as a JSON envelope.
+	WriteJSON = core.WriteJSON
+	// WriteSnapshotGeoJSON exports a snapshot + routed pair as GeoJSON.
+	WriteSnapshotGeoJSON = core.WriteSnapshotGeoJSON
+)
+
+// Direct access to the ITU-R attenuation models (§6's substrate).
+var (
+	// TotalAttenuation returns A(p) in dB for one slant path.
+	TotalAttenuation = itur.TotalAttenuation
+	// ScaleRainAttenuationFrequency applies P.618 §2.2.1.2 frequency
+	// scaling between bands (7–55 GHz).
+	ScaleRainAttenuationFrequency = itur.ScaleRainAttenuationFrequency
+	// ReceivedPowerFraction converts dB of attenuation to power fraction.
+	ReceivedPowerFraction = itur.ReceivedPowerFraction
+)
+
+// AttenuationLink describes one slant path for TotalAttenuation.
+type AttenuationLink = itur.LinkParams
+
+// Constellation presets.
+var (
+	// StarlinkPhase1 returns the Starlink first-phase shell.
+	StarlinkPhase1 = constellation.StarlinkPhase1
+	// KuiperPhase1 returns the Kuiper first-phase shell.
+	KuiperPhase1 = constellation.KuiperPhase1
+	// PolarShell returns the small polar shell used by Fig 10.
+	PolarShell = constellation.PolarShell
+)
+
+// Frequency plans for the §6 weather experiments.
+var (
+	// KuBand is the paper's Ku-band plan (14.25/11.7 GHz).
+	KuBand = core.KuBand
+	// KaBand is the gateway band §6 flags as more weather-affected.
+	KaBand = core.KaBand
+)
+
+// Epoch is the fixed simulation reference epoch.
+var Epoch = geo.Epoch
+
+// SnapshotAt is a convenience for building a one-off time offset from the
+// epoch.
+func SnapshotAt(offset time.Duration) time.Time { return geo.Epoch.Add(offset) }
+
+// SetProgress directs coarse progress lines from long-running experiment
+// phases (thousands of routed pairs at full scale) to w; nil silences them.
+func SetProgress(w io.Writer) { core.Progress = w }

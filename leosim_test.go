@@ -1,0 +1,96 @@
+package leosim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The facade must expose a working end-to-end pipeline: build, route,
+// experiment, report — all through the public API.
+func TestFacadeEndToEnd(t *testing.T) {
+	sim, err := NewSim(Starlink, TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Const.Size() != 1584 {
+		t.Errorf("const size = %d", sim.Const.Size())
+	}
+
+	// Route a pair at the epoch under both modes.
+	n := sim.NetworkAt(SnapshotAt(0), Hybrid)
+	p, ok := n.ShortestPath(n.CityNode(sim.Pairs[0].Src), n.CityNode(sim.Pairs[0].Dst))
+	if !ok {
+		t.Fatal("no hybrid path for first pair")
+	}
+	if p.RTTMs() <= 0 {
+		t.Errorf("rtt = %v", p.RTTMs())
+	}
+
+	res, err := RunLatency(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteLatencyReport(&buf, res, 5)
+	if buf.Len() == 0 {
+		t.Errorf("empty report")
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	if StarlinkPhase1().Size() != 1584 || KuiperPhase1().Size() != 1156 {
+		t.Errorf("preset sizes wrong")
+	}
+	for _, s := range []Scale{TinyScale(), ReducedScale(), LargeScale(), FullScale()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if !SnapshotAt(time.Hour).Equal(Epoch.Add(time.Hour)) {
+		t.Errorf("SnapshotAt arithmetic wrong")
+	}
+}
+
+func TestFacadeCities(t *testing.T) {
+	cities, err := Cities(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := SamplePairs(cities, 50, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 50 {
+		t.Errorf("pairs = %d", len(pairs))
+	}
+}
+
+// ExampleNewSim demonstrates the quickstart flow.
+func ExampleNewSim() {
+	sim, err := NewSim(Starlink, TinyScale())
+	if err != nil {
+		panic(err)
+	}
+	n := sim.NetworkAt(SnapshotAt(0), Hybrid)
+	_, ok := n.ShortestPath(n.CityNode(sim.Pairs[0].Src), n.CityNode(sim.Pairs[0].Dst))
+	fmt.Println("satellites:", sim.Const.Size(), "routable:", ok)
+	// Output: satellites: 1584 routable: true
+}
+
+func TestFacadeAttenuation(t *testing.T) {
+	a, err := TotalAttenuation(AttenuationLink{
+		LatDeg: 1.35, LonDeg: 103.8, ElevationDeg: 40, FreqGHz: 14.25,
+	}, 0.5)
+	if err != nil || a <= 0 {
+		t.Fatalf("TotalAttenuation: %v %v", a, err)
+	}
+	ka, err := ScaleRainAttenuationFrequency(a, 14.25, 28.5)
+	if err != nil || ka <= a {
+		t.Fatalf("frequency scaling: %v %v", ka, err)
+	}
+	if p := ReceivedPowerFraction(a); p <= 0 || p >= 1 {
+		t.Fatalf("power fraction: %v", p)
+	}
+}
