@@ -9,6 +9,7 @@ package leosim
 // absolute ratios sharpen with scale (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -58,7 +59,7 @@ func BenchmarkFig2aMinRTT(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := RunLatency(s)
+		res, err := RunLatency(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFig2aMinRTT(b *testing.B) {
 // BenchmarkFig2bRTTVariation isolates the variation metric (headline claim).
 func BenchmarkFig2bRTTVariation(b *testing.B) {
 	s := getBenchSim(b)
-	res, err := RunLatency(s)
+	res, err := RunLatency(context.Background(), s)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func BenchmarkFig3PathTrace(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunPathTrace(s, "Maceió", "Durban", BP); err != nil {
+		if _, err := RunPathTrace(context.Background(), s, "Maceió", "Durban", BP); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkFig4Throughput(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows, err := RunFig4(s)
+		rows, err := RunFig4(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFig5ISLSweep(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := RunFig5(s, []float64{0.5, 1, 2, 3, 4, 5}); err != nil {
+		if _, _, err := RunFig5(context.Background(), s, []float64{0.5, 1, 2, 3, 4, 5}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +126,10 @@ func BenchmarkDisconnectedSats(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := RunDisconnected(s)
+		r, err := RunDisconnected(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Max <= 0 {
 			b.Fatal("no disconnection measured")
 		}
@@ -137,7 +141,7 @@ func BenchmarkFig6Attenuation(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunWeather(s); err != nil {
+		if _, err := RunWeather(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,7 +164,7 @@ func BenchmarkFig8DelhiSydney(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pw, err := RunPairWeather(s, "Delhi", "Sydney")
+		pw, err := RunPairWeather(context.Background(), s, "Delhi", "Sydney")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +180,10 @@ func BenchmarkFig9GSOArc(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows := RunGSOArc(s, 40, []float64{0, 20, 40, 60, 80})
+		rows, err := RunGSOArc(context.Background(), s, 40, []float64{0, 20, 40, 60, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 5 {
 			b.Fatal("bad rows")
 		}
@@ -189,7 +196,7 @@ func BenchmarkFig10CrossShell(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunCrossShell(s, "Brisbane", "Tokyo"); err != nil {
+		if _, err := RunCrossShell(context.Background(), s, "Brisbane", "Tokyo"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,7 +208,7 @@ func BenchmarkFig11Fiber(b *testing.B) {
 	nearby := []string{"Rouen", "Orléans", "Reims", "Amiens", "Le Mans"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunFiberAugmentation(s, "Paris", nearby, 200, Epoch); err != nil {
+		if _, err := RunFiberAugmentation(context.Background(), s, "Paris", nearby, 200, Epoch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -213,7 +220,7 @@ func BenchmarkExtUtilization(b *testing.B) {
 	t := s.SnapshotTimes()[0]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunUtilization(s, BP, t); err != nil {
+		if _, err := RunUtilization(context.Background(), s, BP, t); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +231,7 @@ func BenchmarkExtPathChurn(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunPathChurn(s); err != nil {
+		if _, err := RunPathChurn(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -236,7 +243,7 @@ func BenchmarkExtModcod(b *testing.B) {
 	s := getBenchSim(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunWeatherCapacity(s); err != nil {
+		if _, err := RunWeatherCapacity(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,7 +256,7 @@ func BenchmarkExtTrafficEngineering(b *testing.B) {
 	t := s.SnapshotTimes()[0]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunTrafficEngineering(s, Hybrid, 4, t); err != nil {
+		if _, err := RunTrafficEngineering(context.Background(), s, Hybrid, 4, t); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +273,7 @@ func BenchmarkAblationKPaths(b *testing.B) {
 		b.Run(benchName("k", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := RunThroughput(s, Hybrid, k, t); err != nil {
+				if _, err := RunThroughput(context.Background(), s, Hybrid, k, t); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -288,7 +295,7 @@ func BenchmarkAblationRelayDensity(b *testing.B) {
 		b.Run(benchName("spacingDegX10", int(spacing*10)), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := RunLatency(s); err != nil {
+				if _, err := RunLatency(context.Background(), s); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -420,7 +427,7 @@ func BenchmarkAblationSatCapacity(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := RunThroughput(s, Hybrid, 4, t); err != nil {
+				if _, err := RunThroughput(context.Background(), s, Hybrid, 4, t); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,18 +11,27 @@
 //	leosim fig9             GSO arc avoidance (§7)
 //	leosim fig10            cross-shell BP augmentation (§8)
 //	leosim fig11            Paris fiber augmentation (§8)
+//	leosim resilience       fault-injection degradation sweep (-fault scenario)
 //	leosim all              everything above
 //
 // Scale is selected with -scale tiny|reduced|large|full; "full" reproduces the
 // paper's sizing (1,000 cities, 5,000 pairs, 0.5° relay grid, 96 snapshots)
 // and needs minutes to hours of CPU depending on the experiment.
+//
+// Ctrl-C (or SIGTERM) cancels the run cooperatively: experiments stop within
+// about one snapshot's work, and the ones that aggregate across snapshots
+// flush the completed prefix — with -json, as a valid envelope marked
+// "partial": true — before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"leosim"
@@ -31,13 +40,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "leosim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("leosim", flag.ContinueOnError)
 	scaleName := fs.String("scale", "reduced", "experiment scale: tiny|reduced|large|full")
 	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
@@ -48,8 +59,9 @@ func run(args []string) error {
 	pairs := fs.Int("pairs", 0, "override the number of sampled city pairs (0 = scale default)")
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
+	faultName := fs.String("fault", "sat", "resilience scenario: sat|plane|site|isl|gslcap")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact geojson disconnected info all ext\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -114,12 +126,12 @@ func run(args []string) error {
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	case "ext":
 		experiments = []string{"util", "pathchurn", "te", "modcod", "beams",
-			"gsoimpact", "churn", "passes"}
+			"gsoimpact", "resilience", "churn", "passes"}
 	}
 	for _, e := range experiments {
 		t0 := time.Now()
 		fmt.Printf("\n== %s ==\n", e)
-		if err := runExperiment(sim, e, *cdfPoints, *jsonOut); err != nil {
+		if err := runExperiment(ctx, sim, e, *cdfPoints, *jsonOut, *faultName); err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
 		fmt.Printf("-- %s done in %v\n", e, time.Since(t0).Round(time.Millisecond))
@@ -127,11 +139,15 @@ func run(args []string) error {
 	return nil
 }
 
-func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) error {
+func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string) error {
 	w := os.Stdout
+	// partial is set by the experiments that can flush a completed prefix
+	// after cancellation (fig2a/fig2b, disconnected, resilience) before they
+	// call emit; the JSON envelope then carries "partial": true.
+	partial := false
 	emit := func(data interface{}, text func()) error {
 		if jsonOut {
-			return leosim.WriteJSON(w, cmd, sim, data)
+			return leosim.WriteJSONPartial(w, cmd, sim, data, partial)
 		}
 		text()
 		return nil
@@ -141,18 +157,22 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 		fmt.Fprintln(w, sim)
 		return nil
 	case "fig2a", "fig2b":
-		res, err := leosim.RunLatency(sim)
-		if err != nil {
+		res, rerr := leosim.RunLatency(ctx, sim)
+		if res == nil {
+			return rerr
+		}
+		partial = res.Partial
+		if err := emit(res, func() { leosim.WriteLatencyReport(w, res, cdfPoints) }); err != nil {
 			return err
 		}
-		return emit(res, func() { leosim.WriteLatencyReport(w, res, cdfPoints) })
+		return rerr
 	case "fig3":
 		for _, name := range []string{"Maceió", "Durban"} {
 			if err := sim.EnsureCity(name); err != nil {
 				return err
 			}
 		}
-		res, err := leosim.RunPathTrace(sim, "Maceió", "Durban", leosim.BP)
+		res, err := leosim.RunPathTrace(ctx, sim, "Maceió", "Durban", leosim.BP)
 		if err != nil {
 			return err
 		}
@@ -167,13 +187,13 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 		fmt.Fprintf(w, "fig3 RTT inflation (max-min): %.1f ms; uses aircraft: %v\n",
 			res.RTTInflationMs(), res.UsesAircraftEver())
 	case "fig4":
-		rows, err := leosim.RunFig4(sim)
+		rows, err := leosim.RunFig4(ctx, sim)
 		if err != nil {
 			return err
 		}
 		return emit(rows, func() { leosim.WriteFig4Report(w, rows) })
 	case "fig5":
-		pts, bp, err := leosim.RunFig5(sim, []float64{0.5, 1, 2, 3, 4, 5})
+		pts, bp, err := leosim.RunFig5(ctx, sim, []float64{0.5, 1, 2, 3, 4, 5})
 		if err != nil {
 			return err
 		}
@@ -182,50 +202,71 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 			Points         []leosim.Fig5Point `json:"points"`
 		}{bp, pts}, func() { leosim.WriteFig5Report(w, pts, bp) })
 	case "disconnected":
-		res := leosim.RunDisconnected(sim)
-		return emit(res, func() { leosim.WriteDisconnectReport(w, res) })
+		res, rerr := leosim.RunDisconnected(ctx, sim)
+		if res == nil {
+			return rerr
+		}
+		partial = res.Partial
+		if err := emit(res, func() { leosim.WriteDisconnectReport(w, res) }); err != nil {
+			return err
+		}
+		return rerr
+	case "resilience":
+		sc := leosim.FaultScenario(faultName)
+		res, rerr := leosim.RunResilience(ctx, sim, sc, nil)
+		if res == nil {
+			return rerr
+		}
+		partial = res.Partial
+		if err := emit(res, func() { leosim.WriteResilienceReport(w, res) }); err != nil {
+			return err
+		}
+		return rerr
 	case "fig6":
-		res, err := leosim.RunWeather(sim)
+		res, err := leosim.RunWeather(ctx, sim)
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteWeatherReport(w, res, cdfPoints) })
 	case "fig7":
-		res, err := leosim.RunHeatmap(sim, "Delhi", "Sydney", 2)
+		res, err := leosim.RunHeatmap(ctx, sim, "Delhi", "Sydney", 2)
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteHeatmapReport(w, res) })
 	case "fig8":
-		res, err := leosim.RunPairWeather(sim, "Delhi", "Sydney")
+		res, err := leosim.RunPairWeather(ctx, sim, "Delhi", "Sydney")
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WritePairWeatherReport(w, res) })
 	case "fig9":
-		rows := leosim.RunGSOArc(sim, 40, []float64{0, 10, 20, 30, 40, 50, 60, 70, 80})
+		rows, err := leosim.RunGSOArc(ctx, sim, 40, []float64{0, 10, 20, 30, 40, 50, 60, 70, 80})
+		if err != nil {
+			return err
+		}
 		return emit(rows, func() { leosim.WriteGSOReport(w, rows) })
 	case "fig10":
-		res, err := leosim.RunCrossShell(sim, "Brisbane", "Tokyo")
+		res, err := leosim.RunCrossShell(ctx, sim, "Brisbane", "Tokyo")
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteCrossShellReport(w, res) })
 	case "relays":
 		base := sim.Scale
-		points, err := leosim.RunRelayDensitySweep(sim.Choice, base, []float64{base.RelaySpacingDeg, base.RelaySpacingDeg * 2, base.RelaySpacingDeg * 4})
+		points, err := leosim.RunRelayDensitySweep(ctx, sim.Choice, base, []float64{base.RelaySpacingDeg, base.RelaySpacingDeg * 2, base.RelaySpacingDeg * 4})
 		if err != nil {
 			return err
 		}
 		return emit(points, func() { leosim.WriteRelayReport(w, points) })
 	case "gsoimpact":
-		res, err := leosim.RunGSOImpact(sim)
+		res, err := leosim.RunGSOImpact(ctx, sim)
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteGSOImpactReport(w, res) })
 	case "beams":
-		points, err := leosim.RunBeamSweep(sim, []int{2, 4, 8, 16, 0}, leosim.Epoch)
+		points, err := leosim.RunBeamSweep(ctx, sim, []int{2, 4, 8, 16, 0}, leosim.Epoch)
 		if err != nil {
 			return err
 		}
@@ -233,11 +274,11 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 	case "geojson":
 		return leosim.WriteSnapshotGeoJSON(w, sim, 0, leosim.Epoch)
 	case "util":
-		bp, err := leosim.RunUtilization(sim, leosim.BP, leosim.Epoch)
+		bp, err := leosim.RunUtilization(ctx, sim, leosim.BP, leosim.Epoch)
 		if err != nil {
 			return err
 		}
-		hy, err := leosim.RunUtilization(sim, leosim.Hybrid, leosim.Epoch)
+		hy, err := leosim.RunUtilization(ctx, sim, leosim.Hybrid, leosim.Epoch)
 		if err != nil {
 			return err
 		}
@@ -245,7 +286,7 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 			leosim.WriteUtilizationReport(w, bp, hy)
 		})
 	case "pathchurn":
-		res, err := leosim.RunPathChurn(sim)
+		res, err := leosim.RunPathChurn(ctx, sim)
 		if err != nil {
 			return err
 		}
@@ -285,20 +326,20 @@ func runExperiment(sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool) err
 			fmt.Fprintf(w, "churn mean nearest range: %.0f km\n", st.MeanRangeKm)
 		})
 	case "modcod":
-		res, err := leosim.RunWeatherCapacity(sim)
+		res, err := leosim.RunWeatherCapacity(ctx, sim)
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteModcodReport(w, res) })
 	case "te":
-		res, err := leosim.RunTrafficEngineering(sim, leosim.Hybrid, 4, leosim.Epoch)
+		res, err := leosim.RunTrafficEngineering(ctx, sim, leosim.Hybrid, 4, leosim.Epoch)
 		if err != nil {
 			return err
 		}
 		return emit(res, func() { leosim.WriteTEReport(w, res) })
 	case "fig11":
 		nearby := []string{"Rouen", "Orléans", "Reims", "Amiens", "Le Mans"}
-		res, err := leosim.RunFiberAugmentation(sim, "Paris", nearby, 200, leosim.Epoch)
+		res, err := leosim.RunFiberAugmentation(ctx, sim, "Paris", nearby, 200, leosim.Epoch)
 		if err != nil {
 			return err
 		}

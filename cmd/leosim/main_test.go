@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,13 +10,13 @@ import (
 // dispatch table. Experiments themselves are covered by package tests; here
 // each command only needs to run end-to-end at tiny scale without error.
 func TestRunInfo(t *testing.T) {
-	if err := run([]string{"-scale", "tiny", "info"}); err != nil {
+	if err := run(context.Background(), []string{"-scale", "tiny", "info"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunKuiper(t *testing.T) {
-	if err := run([]string{"-scale", "tiny", "-constellation", "kuiper", "info"}); err != nil {
+	if err := run(context.Background(), []string{"-scale", "tiny", "-constellation", "kuiper", "info"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,10 +25,10 @@ func TestRunSingleExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI experiment dispatch in -short mode")
 	}
-	for _, cmd := range []string{"fig4", "disconnected", "fig9", "churn", "passes", "util"} {
+	for _, cmd := range []string{"fig4", "disconnected", "fig9", "churn", "passes", "util", "resilience"} {
 		cmd := cmd
 		t.Run(cmd, func(t *testing.T) {
-			if err := run([]string{"-scale", "tiny", "-cdf-points", "0", cmd}); err != nil {
+			if err := run(context.Background(), []string{"-scale", "tiny", "-cdf-points", "0", cmd}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -35,7 +36,7 @@ func TestRunSingleExperiments(t *testing.T) {
 }
 
 func TestRunJSONFlag(t *testing.T) {
-	if err := run([]string{"-scale", "tiny", "-json", "disconnected"}); err != nil {
+	if err := run(context.Background(), []string{"-scale", "tiny", "-json", "disconnected"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -47,12 +48,27 @@ func TestRunErrors(t *testing.T) {
 		{"-scale", "huge", "fig4"},              // unknown scale
 		{"-constellation", "teledesic", "fig4"}, // unknown constellation
 		{"-scale", "tiny", "figX"},              // unknown experiment
+		{"-scale", "tiny", "-fault", "meteor", "resilience"}, // unknown scenario
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		} else if strings.Contains(err.Error(), "panic") {
 			t.Errorf("run(%v) panicked: %v", args, err)
 		}
+	}
+}
+
+// A pre-cancelled context must abort the run with the context's error rather
+// than hang or panic.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-scale", "tiny", "fig2a"})
+	if err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
 	}
 }

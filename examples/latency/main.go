@@ -7,14 +7,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"leosim"
 )
 
 func main() {
+	// Ctrl-C cancels cooperatively; RunLatency then returns the completed
+	// snapshots with res.Partial set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	scale := leosim.ReducedScale()
 	scale.NumSnapshots = 8 // keep the example snappy
 	sim, err := leosim.NewSim(leosim.Starlink, scale)
@@ -24,11 +31,15 @@ func main() {
 	fmt.Println(sim)
 
 	fmt.Println("\n--- Fig 2: latency and its variability ---")
-	res, err := leosim.RunLatency(sim)
-	if err != nil {
+	res, err := leosim.RunLatency(ctx, sim)
+	if res == nil {
 		log.Fatal(err)
 	}
 	leosim.WriteLatencyReport(os.Stdout, res, 0)
+	if res.Partial {
+		fmt.Printf("(interrupted after %d snapshots)\n", res.SnapshotsDone)
+		return
+	}
 
 	fmt.Println("\n--- Fig 3: Maceió → Durban under BP ---")
 	for _, name := range []string{"Maceió", "Durban"} {
@@ -36,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	trace, err := leosim.RunPathTrace(sim, "Maceió", "Durban", leosim.BP)
+	trace, err := leosim.RunPathTrace(ctx, sim, "Maceió", "Durban", leosim.BP)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	scale := leosim.ReducedScale()
 	for _, choice := range []leosim.ConstellationChoice{leosim.Starlink, leosim.Kuiper} {
 		sim, err := leosim.NewSim(choice, scale)
@@ -22,7 +24,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- Fig 4 on %s ---\n", choice)
-		rows, err := leosim.RunFig4(sim)
+		rows, err := leosim.RunFig4(ctx, sim)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,14 +37,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("--- Fig 5: Starlink throughput vs ISL capacity (k=4) ---")
-	pts, bp, err := leosim.RunFig5(sim, []float64{0.5, 1, 2, 3, 4, 5})
+	pts, bp, err := leosim.RunFig5(ctx, sim, []float64{0.5, 1, 2, 3, 4, 5})
 	if err != nil {
 		log.Fatal(err)
 	}
 	leosim.WriteFig5Report(os.Stdout, pts, bp)
 
 	fmt.Println("\n--- §5: satellites stranded by BP ---")
-	leosim.WriteDisconnectReport(os.Stdout, leosim.RunDisconnected(sim))
+	disc, err := leosim.RunDisconnected(ctx, sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leosim.WriteDisconnectReport(os.Stdout, disc)
 	fmt.Println("(the paper reports 25.1%–31.5% at full 1000-city/0.5°-relay scale;")
 	fmt.Println(" sparser ground segments strand more satellites)")
 }

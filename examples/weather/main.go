@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Direct model use: a Ku-band uplink from Singapore (wet tropics) vs
 	// Helsinki (dry high latitude) at 40° elevation.
 	fmt.Println("--- single-link ITU-R attenuation, Ku-band uplink, e=40° ---")
@@ -47,14 +49,14 @@ func main() {
 	}
 
 	fmt.Println("\n--- Fig 6: 99.5th-percentile attenuation across pairs ---")
-	res, err := leosim.RunWeather(sim)
+	res, err := leosim.RunWeather(ctx, sim)
 	if err != nil {
 		log.Fatal(err)
 	}
 	leosim.WriteWeatherReport(os.Stdout, res, 10)
 
 	fmt.Println("\n--- Fig 8: Delhi–Sydney ---")
-	pw, err := leosim.RunPairWeather(sim, "Delhi", "Sydney")
+	pw, err := leosim.RunPairWeather(ctx, sim, "Delhi", "Sydney")
 	if err != nil {
 		log.Fatal(err)
 	}

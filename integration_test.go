@@ -5,6 +5,7 @@ package leosim
 // all hold simultaneously. Skipped under -short.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	}
 
 	t.Run("latency", func(t *testing.T) {
-		res, err := RunLatency(sim)
+		res, err := RunLatency(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +37,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("throughput", func(t *testing.T) {
-		rows, err := RunFig4(sim)
+		rows, err := RunFig4(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("fig5", func(t *testing.T) {
-		pts, bp, err := RunFig5(sim, []float64{0.5, 3, 5})
+		pts, bp, err := RunFig5(context.Background(), sim, []float64{0.5, 3, 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,14 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("disconnected+utilization", func(t *testing.T) {
-		d := RunDisconnected(sim)
+		d, err := RunDisconnected(context.Background(), sim)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if d.Mean <= 0 || d.Mean >= 1 {
 			t.Errorf("stranded fraction %v", d.Mean)
 		}
-		u, err := RunUtilization(sim, BP, Epoch)
+		u, err := RunUtilization(context.Background(), sim, BP, Epoch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,14 +93,14 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("weather", func(t *testing.T) {
-		res, err := RunWeather(sim)
+		res, err := RunWeather(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.MedianAdvantageDB() < 0 {
 			t.Errorf("ISL weather advantage negative")
 		}
-		cap, err := RunWeatherCapacity(sim)
+		cap, err := RunWeatherCapacity(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +113,10 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("gso", func(t *testing.T) {
-		rows := RunGSOArc(sim, 40, []float64{0, 40, 80})
+		rows, err := RunGSOArc(context.Background(), sim, 40, []float64{0, 40, 80})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if rows[0].FOVBlockedFrac <= rows[2].FOVBlockedFrac {
 			t.Errorf("GSO FoV blocking not decreasing with latitude")
 		}
@@ -117,7 +124,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("te", func(t *testing.T) {
-		res, err := RunTrafficEngineering(sim, Hybrid, 4, Epoch)
+		res, err := RunTrafficEngineering(context.Background(), sim, Hybrid, 4, Epoch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +135,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 	})
 
 	t.Run("pathchurn", func(t *testing.T) {
-		res, err := RunPathChurn(sim)
+		res, err := RunPathChurn(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +149,7 @@ func TestEndToEndAllExperiments(t *testing.T) {
 		if err := WriteSnapshotGeoJSON(io.Discard, sim, 0, Epoch.Add(30*time.Minute)); err != nil {
 			t.Fatal(err)
 		}
-		rows, err := RunFig4(sim)
+		rows, err := RunFig4(context.Background(), sim)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"leosim/internal/flow"
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 )
 
 // BeamPoint is one cell of the beam-limit sweep: aggregate throughput when
@@ -22,22 +24,24 @@ type BeamPoint struct {
 // interference" assumption: throughput (k=4, max-min fair) as the number of
 // simultaneous beams per satellite is capped. BP leans on many relay GSLs
 // per satellite and degrades first; hybrid needs only first/last hops.
-func RunBeamSweep(s *Sim, caps []int, t time.Time) ([]BeamPoint, error) {
-	var out []BeamPoint
+func RunBeamSweep(ctx context.Context, s *Sim, caps []int, t time.Time) (out []BeamPoint, err error) {
+	defer safe.RecoverTo(&err)
 	for _, beams := range caps {
 		if beams < 0 {
 			return nil, fmt.Errorf("core: negative beam cap %d", beams)
 		}
 		for _, mode := range []Mode{BP, Hybrid} {
-			o := graph.DefaultOptions()
-			o.ISL = mode == Hybrid
-			o.MaxGSLsPerSatellite = beams
-			b, err := graph.NewBuilder(s.Const, s.Seg, s.Fleet, o)
+			b, err := s.builderWith(mode, func(o *graph.BuildOptions) {
+				o.MaxGSLsPerSatellite = beams
+			})
 			if err != nil {
 				return nil, err
 			}
 			n := b.At(t)
-			paths := computePairPaths(s, n, 4)
+			paths, err := computePairPaths(ctx, s, n, 4)
+			if err != nil {
+				return nil, err
+			}
 			pr := flow.NewNetworkProblem(n, s.SatCapGbps)
 			for _, pp := range paths {
 				for _, p := range pp {

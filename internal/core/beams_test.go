@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRunBeamSweep(t *testing.T) {
 	s := getTinySim(t)
 	t0 := s.SnapshotTimes()[0]
-	points, err := RunBeamSweep(s, []int{2, 8, 0}, t0)
+	points, err := RunBeamSweep(context.Background(), s, []int{2, 8, 0}, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunBeamSweep(t *testing.T) {
 	if !strings.Contains(buf.String(), "beams") || !strings.Contains(buf.String(), "∞") {
 		t.Errorf("report:\n%s", buf.String())
 	}
-	if _, err := RunBeamSweep(s, []int{-1}, t0); err == nil {
+	if _, err := RunBeamSweep(context.Background(), s, []int{-1}, t0); err == nil {
 		t.Errorf("negative cap must fail")
 	}
 }

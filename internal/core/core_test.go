@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -187,7 +188,7 @@ func TestNetworkAtCaching(t *testing.T) {
 
 func TestRunLatencyTiny(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunLatency(s)
+	r, err := RunLatency(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,15 +238,15 @@ func TestRunLatencyTiny(t *testing.T) {
 func TestRunThroughputTiny(t *testing.T) {
 	s := getTinySim(t)
 	t0 := s.SnapshotTimes()[0]
-	bp1, err := RunThroughput(s, BP, 1, t0)
+	bp1, err := RunThroughput(context.Background(), s, BP, 1, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy1, err := RunThroughput(s, Hybrid, 1, t0)
+	hy1, err := RunThroughput(context.Background(), s, Hybrid, 1, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy4, err := RunThroughput(s, Hybrid, 4, t0)
+	hy4, err := RunThroughput(context.Background(), s, Hybrid, 4, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,14 +264,14 @@ func TestRunThroughputTiny(t *testing.T) {
 	if hy4.PathsFound <= hy1.PathsFound {
 		t.Errorf("k=4 should find more paths")
 	}
-	if _, err := RunThroughput(s, BP, 0, t0); err == nil {
+	if _, err := RunThroughput(context.Background(), s, BP, 0, t0); err == nil {
 		t.Errorf("k=0 must fail")
 	}
 }
 
 func TestRunFig4AndFig5Reports(t *testing.T) {
 	s := getTinySim(t)
-	rows, err := RunFig4(s)
+	rows, err := RunFig4(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestRunFig4AndFig5Reports(t *testing.T) {
 		t.Errorf("fig4 report:\n%s", buf.String())
 	}
 
-	pts, bp, err := RunFig5(s, []float64{0.5, 1, 5})
+	pts, bp, err := RunFig5(context.Background(), s, []float64{0.5, 1, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,10 @@ func TestRunFig4AndFig5Reports(t *testing.T) {
 
 func TestRunDisconnectedTiny(t *testing.T) {
 	s := getTinySim(t)
-	r := RunDisconnected(s)
+	r, err := RunDisconnected(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.FractionPerSnapshot) != s.Scale.NumSnapshots {
 		t.Fatalf("snapshot count mismatch")
 	}
@@ -327,7 +331,10 @@ func TestRunDisconnectedTiny(t *testing.T) {
 
 func TestRunGSOArcTiny(t *testing.T) {
 	s := getTinySim(t)
-	rows := RunGSOArc(s, 40, []float64{0, 30, 60})
+	rows, err := RunGSOArc(context.Background(), s, 40, []float64{0, 30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -404,7 +411,7 @@ func TestSatelliteCapacityModel(t *testing.T) {
 	}
 	t0 := pool.SnapshotTimes()[0]
 	get := func(s *Sim, m Mode) float64 {
-		r, err := RunThroughput(s, m, 4, t0)
+		r, err := RunThroughput(context.Background(), s, m, 4, t0)
 		if err != nil {
 			t.Fatal(err)
 		}

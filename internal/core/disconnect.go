@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 )
 
 // DisconnectResult is the §5 satellite-utilization statistic: the fraction
@@ -15,15 +18,28 @@ type DisconnectResult struct {
 	// snapshot.
 	FractionPerSnapshot []float64
 	Min, Max, Mean      float64
+	// Partial marks a result cut short by cancellation.
+	Partial bool
 }
 
 // RunDisconnected measures, per snapshot, how many satellites cannot reach
 // the giant (city-containing) component of the BP network — i.e. satellites
 // with no ground terminal in view, useless for networking without ISLs.
-func RunDisconnected(s *Sim) *DisconnectResult {
-	res := &DisconnectResult{Min: math.Inf(1), Max: math.Inf(-1)}
+// Cancellation after at least one snapshot returns the completed prefix
+// with Partial set alongside ctx.Err().
+func RunDisconnected(ctx context.Context, s *Sim) (res *DisconnectResult, err error) {
+	defer safe.RecoverTo(&err)
+	times := s.SnapshotTimes()
+	if len(times) == 0 {
+		return nil, fmt.Errorf("core: no snapshots to simulate (NumSnapshots = %d)",
+			s.Scale.NumSnapshots)
+	}
+	res = &DisconnectResult{Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum float64
-	for _, t := range s.SnapshotTimes() {
+	for _, t := range times {
+		if ctx.Err() != nil {
+			break
+		}
 		n := s.NetworkAt(t, BP)
 		frac := disconnectedSatFraction(n)
 		res.FractionPerSnapshot = append(res.FractionPerSnapshot, frac)
@@ -31,8 +47,14 @@ func RunDisconnected(s *Sim) *DisconnectResult {
 		res.Max = math.Max(res.Max, frac)
 		sum += frac
 	}
+	if len(res.FractionPerSnapshot) == 0 {
+		return nil, ctx.Err()
+	}
 	res.Mean = sum / float64(len(res.FractionPerSnapshot))
-	return res
+	if res.Partial = len(res.FractionPerSnapshot) < len(times); res.Partial {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 func disconnectedSatFraction(n *graph.Network) float64 {

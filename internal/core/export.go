@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // JSONEnvelope wraps an experiment result with enough metadata to interpret
@@ -14,15 +15,25 @@ type JSONEnvelope struct {
 	Experiment    string      `json:"experiment"`
 	Constellation string      `json:"constellation"`
 	Scale         string      `json:"scale"`
-	Data          interface{} `json:"data"`
+	// Partial marks an envelope flushed after a cancelled (e.g. Ctrl-C)
+	// run: Data covers the completed prefix of the experiment only.
+	Partial bool        `json:"partial,omitempty"`
+	Data    interface{} `json:"data"`
 }
 
 // WriteJSON emits an experiment result as an indented JSON envelope.
 func WriteJSON(w io.Writer, experiment string, s *Sim, data interface{}) error {
+	return WriteJSONPartial(w, experiment, s, data, false)
+}
+
+// WriteJSONPartial is WriteJSON with an explicit partial flag, used when a
+// cancelled run flushes the snapshots it completed.
+func WriteJSONPartial(w io.Writer, experiment string, s *Sim, data interface{}, partial bool) error {
 	env := JSONEnvelope{
 		Tool:       "leosim",
 		Paper:      "Hauri et al., 'Internet from Space' without Inter-satellite Links?, HotNets 2020",
 		Experiment: experiment,
+		Partial:    partial,
 		Data:       data,
 	}
 	if s != nil {
@@ -49,6 +60,8 @@ func (r *LatencyResult) MarshalJSON() ([]byte, error) {
 		RangeRTTMs           modeSeries `json:"rangeRttMs"`
 		ReachablePairs       int        `json:"reachablePairs"`
 		Excluded             int        `json:"excludedPairs"`
+		SnapshotsDone        int        `json:"snapshotsDone"`
+		Partial              bool       `json:"partial,omitempty"`
 		MaxMinRTTGapMs       float64    `json:"maxMinRttGapMs"`
 		MedianVariationIncPc float64    `json:"medianVariationIncreasePct"`
 		P95VariationIncPc    float64    `json:"p95VariationIncreasePct"`
@@ -57,6 +70,8 @@ func (r *LatencyResult) MarshalJSON() ([]byte, error) {
 		RangeRTTMs:           modeSeries{BP: r.RangeRTT[BP], Hybrid: r.RangeRTT[Hybrid]},
 		ReachablePairs:       r.ReachablePairs,
 		Excluded:             r.Excluded,
+		SnapshotsDone:        r.SnapshotsDone,
+		Partial:              r.Partial,
 		MaxMinRTTGapMs:       r.MaxMinRTTGapMs(),
 		MedianVariationIncPc: med,
 		P95VariationIncPc:    p95,
@@ -142,6 +157,53 @@ func (r *TEResult) MarshalJSON() ([]byte, error) {
 		GainFrac        float64 `json:"gainFrac"`
 	}{r.Mode.String(), r.K, r.ShortestGbps, r.TEGbps,
 		r.ShortestDelayMs, r.TEDelayMs, r.TEMaxUtil, r.ThroughputGainFrac()})
+}
+
+// finiteOrNil maps non-finite floats (unreachable medians, infinite
+// inflation) to JSON null, which encoding/json cannot represent otherwise.
+func finiteOrNil(x float64) *float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return nil
+	}
+	return &x
+}
+
+// MarshalJSON names scenario and modes of the resilience sweep.
+func (r *ResilienceResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Fraction            float64  `json:"fraction"`
+		Mode                string   `json:"mode"`
+		FailedSats          int      `json:"failedSats"`
+		FailedSites         int      `json:"failedSites"`
+		FailedISLs          int      `json:"failedIsls"`
+		MedianRTTMs         *float64 `json:"medianRttMs"`
+		P99RTTMs            *float64 `json:"p99RttMs"`
+		MedianInflationPct  *float64 `json:"medianInflationPct"`
+		P99InflationPct     *float64 `json:"p99InflationPct"`
+		UnreachableFrac     float64  `json:"unreachableFrac"`
+		ThroughputGbps      float64  `json:"throughputGbps"`
+		ThroughputRetention float64  `json:"throughputRetention"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, p := range r.Points {
+		pts[i] = point{
+			Fraction: p.Fraction, Mode: p.Mode.String(),
+			FailedSats: p.FailedSats, FailedSites: p.FailedSites, FailedISLs: p.FailedISLs,
+			MedianRTTMs: finiteOrNil(p.MedianRTTMs), P99RTTMs: finiteOrNil(p.P99RTTMs),
+			MedianInflationPct: finiteOrNil(p.MedianInflationPct),
+			P99InflationPct:    finiteOrNil(p.P99InflationPct),
+			UnreachableFrac:    p.UnreachableFrac,
+			ThroughputGbps:     p.ThroughputGbps, ThroughputRetention: p.ThroughputRetention,
+		}
+	}
+	return json.Marshal(struct {
+		Scenario      string    `json:"scenario"`
+		Seed          int64     `json:"seed"`
+		Fractions     []float64 `json:"fractions"`
+		SnapshotsUsed int       `json:"snapshotsUsed"`
+		Partial       bool      `json:"partial,omitempty"`
+		Points        []point   `json:"points"`
+	}{string(r.Scenario), r.Seed, r.Fractions, r.SnapshotsUsed, r.Partial, pts})
 }
 
 // MarshalJSON renders both exceedance curves plus the 1%-of-time headline.

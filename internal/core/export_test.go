@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -67,7 +68,7 @@ func TestThroughputAndWeatherJSON(t *testing.T) {
 func TestPairWeatherJSON(t *testing.T) {
 	s := getTinySim(t)
 	// Reuse a real curve via the weather machinery on one sampled pair.
-	bp, isl, err := weatherCurves(s, s.Pairs[:1], KuBand)
+	bp, isl, err := weatherCurves(context.Background(), s, s.Pairs[:1], KuBand)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"leosim/internal/flow"
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 )
 
 // FiberResult quantifies Fig 11's "distributed GTs" idea: a congested metro
@@ -34,7 +36,11 @@ type FiberResult struct {
 // set of nearby cities at one snapshot. It adds fiber links metro↔neighbor
 // (capacity fiberGbps each) and measures the growth in reachable satellites
 // and in max-min throughput for a set of metro-sourced flows.
-func RunFiberAugmentation(s *Sim, metro string, nearby []string, fiberGbps float64, t time.Time) (*FiberResult, error) {
+func RunFiberAugmentation(ctx context.Context, s *Sim, metro string, nearby []string, fiberGbps float64, t time.Time) (res *FiberResult, err error) {
+	defer safe.RecoverTo(&err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.EnsureCity(metro); err != nil {
 		return nil, err
 	}
@@ -54,7 +60,7 @@ func RunFiberAugmentation(s *Sim, metro string, nearby []string, fiberGbps float
 	mi := idx(metro)
 
 	n := s.NetworkAt(t, Hybrid)
-	res := &FiberResult{Metro: metro, Nearby: nearby}
+	res = &FiberResult{Metro: metro, Nearby: nearby}
 
 	visible := func(city int) map[int32]bool {
 		out := map[int32]bool{}

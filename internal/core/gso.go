@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"leosim/internal/geo"
 	"leosim/internal/ground"
+	"leosim/internal/safe"
 )
 
 // GSORow quantifies Fig 9 at one latitude: how much of the usable sky the
@@ -22,14 +25,21 @@ type GSORow struct {
 // of the ≥minElev sky blocked by the 22° separation rule and the mean count
 // of connectable satellites over sampled snapshots. Fig 9 uses the 40°
 // minimum elevation Starlink plans for full deployment.
-func RunGSOArc(s *Sim, minElevDeg float64, latitudes []float64) []GSORow {
+func RunGSOArc(ctx context.Context, s *Sim, minElevDeg float64, latitudes []float64) (rows []GSORow, err error) {
+	defer safe.RecoverTo(&err)
 	policy := ground.StarlinkGSOPolicy()
 	times := s.SnapshotTimes()
+	if len(times) == 0 {
+		return nil, fmt.Errorf("core: no snapshots to simulate (NumSnapshots = %d)",
+			s.Scale.NumSnapshots)
+	}
 	if len(times) > 8 {
 		times = times[:8]
 	}
-	var rows []GSORow
 	for _, lat := range latitudes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pos := geo.LL(lat, 0)
 		obs := pos.ToECEF()
 		ck := ground.NewGSOChecker(pos, policy)
@@ -54,7 +64,7 @@ func RunGSOArc(s *Sim, minElevDeg float64, latitudes []float64) []GSORow {
 			VisibleSatsGSO:  constrained / nT,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // GSOConnectivityLoss compares cross-Equatorial BP reachability with and

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"leosim/internal/ground"
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -29,13 +31,14 @@ type GSOImpactResult struct {
 // RunGSOImpact compares routing with and without the Starlink 22° GSO
 // separation rule for equatorial-involved pairs, at the first snapshot.
 // It builds a second, GSO-constrained sim sharing the base sim's scale.
-func RunGSOImpact(s *Sim) (*GSOImpactResult, error) {
+func RunGSOImpact(ctx context.Context, s *Sim) (res *GSOImpactResult, err error) {
+	defer safe.RecoverTo(&err)
 	constrained, err := NewSim(s.Choice, s.Scale, WithGSOAvoidance(ground.StarlinkGSOPolicy()))
 	if err != nil {
 		return nil, err
 	}
 	t := s.SnapshotTimes()[0]
-	res := &GSOImpactResult{}
+	res = &GSOImpactResult{}
 
 	var eqPairs []Pair
 	for _, p := range s.Pairs {
@@ -74,6 +77,9 @@ func RunGSOImpact(s *Sim) (*GSOImpactResult, error) {
 	res.EquatorialPairs = len(eligible)
 
 	for _, mode := range []Mode{BP, Hybrid} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gso := constrained.NetworkAt(t, mode)
 		var inflations []float64
 		unreachable := 0

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"leosim/internal/geo"
 	"leosim/internal/graph"
 	"leosim/internal/itur"
+	"leosim/internal/safe"
 )
 
 // HeatmapResult is the Fig 7 output: a latitude-longitude grid of the
@@ -28,7 +30,8 @@ type HeatmapResult struct {
 // RunHeatmap computes the Fig 7 map for the region spanned by the named
 // pair's geodesic (with margin), at the first snapshot. The paper uses
 // Delhi–Sydney over south-east Asia.
-func RunHeatmap(s *Sim, srcName, dstName string, stepDeg float64) (*HeatmapResult, error) {
+func RunHeatmap(ctx context.Context, s *Sim, srcName, dstName string, stepDeg float64) (res *HeatmapResult, err error) {
+	defer safe.RecoverTo(&err)
 	if stepDeg <= 0 {
 		return nil, fmt.Errorf("core: heatmap step must be positive")
 	}
@@ -48,7 +51,7 @@ func RunHeatmap(s *Sim, srcName, dstName string, stepDeg float64) (*HeatmapResul
 		}
 	}
 	a, b := s.Cities[src], s.Cities[dst]
-	res := &HeatmapResult{
+	res = &HeatmapResult{
 		LatMin: minF(a.Lat, b.Lat) - 5, LatMax: maxF(a.Lat, b.Lat) + 5,
 		LonMin: minF(a.Lon, b.Lon) - 5, LonMax: maxF(a.Lon, b.Lon) + 5,
 		StepDeg: stepDeg,
@@ -57,6 +60,9 @@ func RunHeatmap(s *Sim, srcName, dstName string, stepDeg float64) (*HeatmapResul
 	// The map: 99.5th-percentile total attenuation of a representative
 	// uplink (40° elevation) from each cell.
 	for lat := res.LatMin; lat <= res.LatMax; lat += stepDeg {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var row []float64
 		for lon := res.LonMin; lon <= res.LonMax; lon += stepDeg {
 			aDB, err := itur.TotalAttenuation(itur.LinkParams{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestRunHeatmapDelhiSydney(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunHeatmap(s, "Delhi", "Sydney", 3)
+	r, err := RunHeatmap(context.Background(), s, "Delhi", "Sydney", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +65,10 @@ func TestRunHeatmapDelhiSydney(t *testing.T) {
 	if !strings.Contains(out, "fig7 heatmap") || !strings.Contains(out, "o") {
 		t.Errorf("report missing map or hops:\n%s", out)
 	}
-	if _, err := RunHeatmap(s, "Delhi", "Sydney", 0); err == nil {
+	if _, err := RunHeatmap(context.Background(), s, "Delhi", "Sydney", 0); err == nil {
 		t.Errorf("zero step must fail")
 	}
-	if _, err := RunHeatmap(s, "Delhi", "Nowhere", 3); err == nil {
+	if _, err := RunHeatmap(context.Background(), s, "Delhi", "Nowhere", 3); err == nil {
 		t.Errorf("unknown city must fail")
 	}
 }

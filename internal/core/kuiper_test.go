@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestKuiperLatencyDirection(t *testing.T) {
 	if s.Const.Size() != 1156 {
 		t.Fatalf("Kuiper size = %d", s.Const.Size())
 	}
-	r, err := RunLatency(s)
+	r, err := RunLatency(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +44,11 @@ func TestKuiperLatencyDirection(t *testing.T) {
 func TestKuiperThroughputDirection(t *testing.T) {
 	s := getKuiperSim(t)
 	t0 := s.SnapshotTimes()[0]
-	bp, err := RunThroughput(s, BP, 4, t0)
+	bp, err := RunThroughput(context.Background(), s, BP, 4, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy, err := RunThroughput(s, Hybrid, 4, t0)
+	hy, err := RunThroughput(context.Background(), s, Hybrid, 4, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestKuiperThroughputDirection(t *testing.T) {
 
 func TestKuiperWeatherDirection(t *testing.T) {
 	s := getKuiperSim(t)
-	r, err := RunWeather(s)
+	r, err := RunWeather(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,10 @@ func TestKuiperWeatherDirection(t *testing.T) {
 
 func TestKuiperDisconnected(t *testing.T) {
 	s := getKuiperSim(t)
-	r := RunDisconnected(s)
+	r, err := RunDisconnected(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Mean <= 0 || r.Mean >= 1 {
 		t.Errorf("Kuiper stranded fraction %v", r.Mean)
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -17,12 +19,22 @@ type LatencyResult struct {
 	// ReachablePairs counts pairs reachable in every snapshot under both
 	// modes (the population the CDFs are over); Excluded counts the rest.
 	ReachablePairs, Excluded int
+	// SnapshotsDone counts snapshots fully aggregated; Partial marks a
+	// result cut short by cancellation (SnapshotsDone < requested).
+	SnapshotsDone int
+	Partial       bool
 }
 
 // RunLatency runs the §4 experiment: simulate the day, find shortest paths
 // for every pair at every snapshot under BP-only and hybrid connectivity,
 // and report minimum RTTs (Fig 2a) and RTT variation (Fig 2b).
-func RunLatency(s *Sim) (*LatencyResult, error) {
+//
+// Cancelling ctx stops the run at the next snapshot boundary. If at least
+// one snapshot completed, the result over the completed snapshots is
+// returned with Partial set, alongside ctx.Err(); with none completed only
+// the error is returned.
+func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
+	defer safe.RecoverTo(&err)
 	times := s.SnapshotTimes()
 	nPairs := len(s.Pairs)
 
@@ -37,11 +49,32 @@ func RunLatency(s *Sim) (*LatencyResult, error) {
 		ok[i] = true
 	}
 
+	done := 0
 	for _, t := range times {
+		if ctx.Err() != nil {
+			break
+		}
+		// Compute both modes for this snapshot before aggregating, so a
+		// cancellation mid-snapshot never leaves one mode's extremes a
+		// snapshot ahead of the other's.
+		snap := map[Mode][]float64{}
 		for _, m := range []Mode{BP, Hybrid} {
 			n := s.NetworkAt(t, m)
-			rtts := s.pairRTTs(n, false)
-			for i, r := range rtts {
+			rtts, rerr := s.pairRTTs(ctx, n, false)
+			if rerr != nil {
+				if ctx.Err() != nil && done > 0 {
+					snap = nil
+					break
+				}
+				return nil, rerr
+			}
+			snap[m] = rtts
+		}
+		if snap == nil {
+			break
+		}
+		for _, m := range []Mode{BP, Hybrid} {
+			for i, r := range snap[m] {
 				if math.IsInf(r, 1) {
 					ok[i] = false
 					continue
@@ -54,11 +87,20 @@ func RunLatency(s *Sim) (*LatencyResult, error) {
 				}
 			}
 		}
+		done++
+	}
+	if done == 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("core: no snapshots to simulate")
 	}
 
-	res := &LatencyResult{
-		MinRTT:   map[Mode][]float64{BP: nil, Hybrid: nil},
-		RangeRTT: map[Mode][]float64{BP: nil, Hybrid: nil},
+	res = &LatencyResult{
+		MinRTT:        map[Mode][]float64{BP: nil, Hybrid: nil},
+		RangeRTT:      map[Mode][]float64{BP: nil, Hybrid: nil},
+		SnapshotsDone: done,
+		Partial:       done < len(times),
 	}
 	for i := 0; i < nPairs; i++ {
 		if !ok[i] {
@@ -73,6 +115,9 @@ func RunLatency(s *Sim) (*LatencyResult, error) {
 	}
 	if res.ReachablePairs == 0 {
 		return nil, fmt.Errorf("core: no pair reachable in every snapshot; scale too small?")
+	}
+	if res.Partial {
+		return res, ctx.Err()
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,8 +27,8 @@ type ModcodResult struct {
 // capacity comparison using the calibrated Starlink Ku budget. The slant
 // range is taken at the shell's maximum (conservative: every link evaluated
 // at its weakest geometry).
-func RunWeatherCapacity(s *Sim) (*ModcodResult, error) {
-	weather, err := RunWeather(s)
+func RunWeatherCapacity(ctx context.Context, s *Sim) (*ModcodResult, error) {
+	weather, err := RunWeather(ctx, s)
 	if err != nil {
 		return nil, err
 	}

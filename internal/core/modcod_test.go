@@ -2,13 +2,14 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunWeatherCapacity(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunWeatherCapacity(s)
+	r, err := RunWeatherCapacity(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

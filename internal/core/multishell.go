@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"leosim/internal/constellation"
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -23,7 +25,8 @@ type CrossShellResult struct {
 // a constellation that adds a polar shell, where paths may switch shells
 // only through a ground terminal (intra-shell ISLs only — exactly what the
 // +Grid generator produces).
-func RunCrossShell(s *Sim, srcName, dstName string) (*CrossShellResult, error) {
+func RunCrossShell(ctx context.Context, s *Sim, srcName, dstName string) (res *CrossShellResult, err error) {
+	defer safe.RecoverTo(&err)
 	if err := s.EnsureCity(srcName); err != nil {
 		return nil, err
 	}
@@ -50,8 +53,11 @@ func RunCrossShell(s *Sim, srcName, dstName string) (*CrossShellResult, error) {
 		}
 		return -1
 	}
-	res := &CrossShellResult{SrcCity: srcName, DstCity: dstName}
+	res = &CrossShellResult{SrcCity: srcName, DstCity: dstName}
 	for _, t := range s.SnapshotTimes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		one := s.NetworkAt(t, Hybrid)
 		if p, ok := one.ShortestPath(one.CityNode(find(s, srcName)), one.CityNode(find(s, dstName))); ok {
 			res.SingleShellRTTs = append(res.SingleShellRTTs, p.RTTMs())

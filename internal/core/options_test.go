@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -52,7 +53,7 @@ func TestWithSGP4PropagationOption(t *testing.T) {
 	if maxD > 100 {
 		t.Errorf("SGP4 vs Kepler diverged %v km at epoch+0 — implausible", maxD)
 	}
-	if r, err := RunThroughput(sgp, Hybrid, 1, t0); err != nil || r.AggregateGbps <= 0 {
+	if r, err := RunThroughput(context.Background(), sgp, Hybrid, 1, t0); err != nil || r.AggregateGbps <= 0 {
 		t.Errorf("SGP4-propagated sim cannot run experiments: %v %v", r, err)
 	}
 }

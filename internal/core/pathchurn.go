@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -23,7 +25,8 @@ type PathChurnResult struct {
 
 // RunPathChurn traces every pair's shortest path across the day under both
 // modes and measures how often the path's relay sequence changes.
-func RunPathChurn(s *Sim) (*PathChurnResult, error) {
+func RunPathChurn(ctx context.Context, s *Sim) (res *PathChurnResult, err error) {
+	defer safe.RecoverTo(&err)
 	times := s.SnapshotTimes()
 	if len(times) < 2 {
 		return nil, fmt.Errorf("core: path churn needs ≥ 2 snapshots")
@@ -43,6 +46,9 @@ func RunPathChurn(s *Sim) (*PathChurnResult, error) {
 	}
 
 	for si, t := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, mode := range []Mode{BP, Hybrid} {
 			n := s.NetworkAt(t, mode)
 			for pi, pair := range s.Pairs {
@@ -63,7 +69,7 @@ func RunPathChurn(s *Sim) (*PathChurnResult, error) {
 		}
 	}
 
-	res := &PathChurnResult{ChangeFrac: map[Mode][]float64{BP: nil, Hybrid: nil}}
+	res = &PathChurnResult{ChangeFrac: map[Mode][]float64{BP: nil, Hybrid: nil}}
 	transitions := float64(len(times) - 1)
 	for pi := range s.Pairs {
 		if !valid[pi] {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"leosim/internal/graph"
 	"leosim/internal/ground"
+	"leosim/internal/safe"
 )
 
 // HopTrace describes one snapshot's path between a city pair.
@@ -34,7 +36,8 @@ type PathTraceResult struct {
 
 // RunPathTrace traces the path between two named cities across the day under
 // the given mode (§4 Fig 3 uses Maceió→Durban on BP).
-func RunPathTrace(s *Sim, srcName, dstName string, mode Mode) (*PathTraceResult, error) {
+func RunPathTrace(ctx context.Context, s *Sim, srcName, dstName string, mode Mode) (res *PathTraceResult, err error) {
+	defer safe.RecoverTo(&err)
 	src, dst := -1, -1
 	for i, c := range s.Cities {
 		if c.Name == srcName {
@@ -47,8 +50,11 @@ func RunPathTrace(s *Sim, srcName, dstName string, mode Mode) (*PathTraceResult,
 	if src < 0 || dst < 0 {
 		return nil, fmt.Errorf("core: cities %q/%q not in the %d-city set", srcName, dstName, len(s.Cities))
 	}
-	res := &PathTraceResult{SrcCity: srcName, DstCity: dstName, Mode: mode}
+	res = &PathTraceResult{SrcCity: srcName, DstCity: dstName, Mode: mode}
 	for _, t := range s.SnapshotTimes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := s.NetworkAt(t, mode)
 		p, okPath := n.ShortestPath(n.CityNode(src), n.CityNode(dst))
 		tr := HopTrace{Time: t, Reachable: okPath}
@@ -153,7 +159,7 @@ func (s *Sim) EnsureCity(name string) error {
 	_ = id
 	// Invalidate cached networks: node layout changed.
 	s.mu.Lock()
-	s.cache = map[cacheKey]*graph.Network{}
+	s.dropCaches()
 	s.mu.Unlock()
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestRunPathTraceMaceioDurban(t *testing.T) {
 	if err := s.EnsureCity("Durban"); err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunPathTrace(s, "Maceió", "Durban", BP)
+	r, err := RunPathTrace(context.Background(), s, "Maceió", "Durban", BP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunPathTraceMaceioDurban(t *testing.T) {
 	if !r.UsesAircraftEver() {
 		t.Logf("note: no aircraft used at tiny scale (sparse schedule)")
 	}
-	if _, err := RunPathTrace(s, "Maceió", "Nowhere", BP); err == nil {
+	if _, err := RunPathTrace(context.Background(), s, "Maceió", "Nowhere", BP); err == nil {
 		t.Errorf("unknown city must fail")
 	}
 }
@@ -75,11 +76,11 @@ func TestHybridPathStabler(t *testing.T) {
 	if err := s.EnsureCity("Durban"); err != nil {
 		t.Fatal(err)
 	}
-	bp, err := RunPathTrace(s, "Maceió", "Durban", BP)
+	bp, err := RunPathTrace(context.Background(), s, "Maceió", "Durban", BP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy, err := RunPathTrace(s, "Maceió", "Durban", Hybrid)
+	hy, err := RunPathTrace(context.Background(), s, "Maceió", "Durban", Hybrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestCrossShellBrisbaneTokyo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunCrossShell(s, "Brisbane", "Tokyo")
+	r, err := RunCrossShell(context.Background(), s, "Brisbane", "Tokyo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFiberAugmentationParis(t *testing.T) {
 		t.Fatal(err)
 	}
 	nearby := []string{"Rouen", "Orléans", "Reims", "Amiens", "Le Mans"}
-	r, err := RunFiberAugmentation(s, "Paris", nearby, 200, s.SnapshotTimes()[0])
+	r, err := RunFiberAugmentation(context.Background(), s, "Paris", nearby, 200, s.SnapshotTimes()[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -28,9 +29,12 @@ type RelayPoint struct {
 // RunRelayDensitySweep evaluates latency and reachability across relay grid
 // spacings. Each spacing rebuilds the full simulation at the given base
 // scale (slow: one sim per point).
-func RunRelayDensitySweep(choice ConstellationChoice, base Scale, spacings []float64) ([]RelayPoint, error) {
+func RunRelayDensitySweep(ctx context.Context, choice ConstellationChoice, base Scale, spacings []float64) ([]RelayPoint, error) {
 	var out []RelayPoint
 	for _, sp := range spacings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if sp <= 0 {
 			return nil, fmt.Errorf("core: relay spacing must be positive, got %v", sp)
 		}
@@ -41,7 +45,7 @@ func RunRelayDensitySweep(choice ConstellationChoice, base Scale, spacings []flo
 		if err != nil {
 			return nil, err
 		}
-		lat, err := RunLatency(s)
+		lat, err := RunLatency(ctx, s)
 		if err != nil {
 			// All pairs unreachable under BP at this sparsity still
 			// yields a data point: RunLatency fails only when NO pair is
@@ -49,7 +53,10 @@ func RunRelayDensitySweep(choice ConstellationChoice, base Scale, spacings []flo
 			// functioning hybrid prevents; treat other errors as real.
 			return nil, fmt.Errorf("spacing %v: %w", sp, err)
 		}
-		disc := RunDisconnected(s)
+		disc, err := RunDisconnected(ctx, s)
+		if err != nil {
+			return nil, err
+		}
 		pt := RelayPoint{
 			SpacingDeg:          sp,
 			MedianMinRTTBP:      stats.Percentile(lat.MinRTT[BP], 50),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRunRelayDensitySweep(t *testing.T) {
 	base := TinyScale()
 	base.NumSnapshots = 2
-	points, err := RunRelayDensitySweep(Starlink, base, []float64{5, 10})
+	points, err := RunRelayDensitySweep(context.Background(), Starlink, base, []float64{5, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,14 +37,14 @@ func TestRunRelayDensitySweep(t *testing.T) {
 	if !strings.Contains(buf.String(), "relays") {
 		t.Errorf("report:\n%s", buf.String())
 	}
-	if _, err := RunRelayDensitySweep(Starlink, base, []float64{0}); err == nil {
+	if _, err := RunRelayDensitySweep(context.Background(), Starlink, base, []float64{0}); err == nil {
 		t.Errorf("zero spacing must fail")
 	}
 }
 
 func TestRunGSOImpact(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunGSOImpact(s)
+	r, err := RunGSOImpact(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

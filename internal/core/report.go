@@ -12,6 +12,9 @@ import (
 func WriteLatencyReport(w io.Writer, r *LatencyResult, cdfPoints int) {
 	minBP, minHy, rngBP, rngHy := r.Summaries()
 	fmt.Fprintf(w, "pairs=%d excluded=%d\n", r.ReachablePairs, r.Excluded)
+	if r.Partial {
+		fmt.Fprintf(w, "fig2 PARTIAL: aggregated over the %d snapshots completed before cancellation\n", r.SnapshotsDone)
+	}
 	fmt.Fprintf(w, "fig2a min-RTT (ms):   bp[%s]\n", minBP)
 	fmt.Fprintf(w, "fig2a min-RTT (ms): hybr[%s]\n", minHy)
 	fmt.Fprintf(w, "fig2a max BP-hybrid gap: %.1f ms\n", r.MaxMinRTTGapMs())
@@ -126,6 +129,10 @@ func WriteTEReport(w io.Writer, r *TEResult) {
 func WriteDisconnectReport(w io.Writer, r *DisconnectResult) {
 	fmt.Fprintf(w, "disconnected satellites under BP: min=%.1f%% max=%.1f%% mean=%.1f%%\n",
 		r.Min*100, r.Max*100, r.Mean*100)
+	if r.Partial {
+		fmt.Fprintf(w, "disconnected PARTIAL: %d snapshots completed before cancellation\n",
+			len(r.FractionPerSnapshot))
+	}
 }
 
 // WriteGSOReport renders Fig 9.

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"leosim/internal/fault"
+	"leosim/internal/graph"
+	"leosim/internal/safe"
+	"leosim/internal/stats"
+)
+
+// resilienceMaxSnapshots caps how many snapshots each sweep point evaluates:
+// enough to average over constellation motion without multiplying the sweep
+// cost by the full day.
+const resilienceMaxSnapshots = 4
+
+// resilienceK is the multipath degree of the throughput model (§5's k=4).
+const resilienceK = 4
+
+// DefaultFaultFractions is the 0–30% failure sweep the resilience
+// experiment runs by default.
+func DefaultFaultFractions() []float64 {
+	return []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+}
+
+// ResiliencePoint is one cell of the sweep: one failure fraction under one
+// connectivity mode.
+type ResiliencePoint struct {
+	Fraction float64
+	Mode     Mode
+	// FailedSats/FailedSites/FailedISLs count the concrete outages the
+	// seeded plan realized at this fraction.
+	FailedSats, FailedSites, FailedISLs int
+	// MedianRTTMs and P99RTTMs summarize per-pair best RTTs over the
+	// evaluated snapshots (reachable pairs only).
+	MedianRTTMs, P99RTTMs float64
+	// MedianInflationPct and P99InflationPct are the percentage increases
+	// over this mode's 0%-failure baseline.
+	MedianInflationPct, P99InflationPct float64
+	// UnreachableFrac is the fraction of sampled pairs with no path in any
+	// evaluated snapshot.
+	UnreachableFrac float64
+	// ThroughputGbps is the max-min aggregate at the first snapshot;
+	// ThroughputRetention is its ratio to the mode's healthy baseline.
+	ThroughputGbps, ThroughputRetention float64
+}
+
+// ResilienceResult is the fault-injection sweep output: how BP and Hybrid
+// connectivity degrade as a growing fraction of a resource fails.
+type ResilienceResult struct {
+	Scenario  fault.Scenario
+	Seed      int64
+	Fractions []float64
+	// Points is fraction-major, BP before Hybrid within each fraction.
+	Points []ResiliencePoint
+	// SnapshotsUsed is how many snapshots each point averaged over.
+	SnapshotsUsed int
+	// Partial marks a sweep cut short by cancellation: Points holds the
+	// completed fractions only.
+	Partial bool
+}
+
+// resilienceSeed derives the outage seed for sweep point i so each fraction
+// draws an independent (but reproducible) failure set.
+func resilienceSeed(base int64, i int) int64 {
+	return base*1_000_003 + int64(i)
+}
+
+// modeEval holds one mode's aggregate metrics at one sweep point.
+type modeEval struct {
+	median, p99, unreachable, tput float64
+}
+
+// RunResilience sweeps a failure scenario over the given fractions (nil =
+// DefaultFaultFractions) and reports, per fraction and mode, latency
+// inflation, unreachable-pair fraction and throughput retention relative to
+// the healthy baseline. The baseline itself is evaluated through the same
+// masked-builder path with a zero fault plan, so the 0% row is identical to
+// an unfaulted run by construction. Outages are drawn deterministically from
+// the sim's scale seed: the same sim and scenario always produce the same
+// sweep, byte for byte.
+//
+// Cancelling ctx stops the sweep at the next fraction boundary; completed
+// fractions are returned with Partial set, alongside ctx.Err().
+func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractions []float64) (res *ResilienceResult, err error) {
+	defer safe.RecoverTo(&err)
+	if !scenario.Valid() {
+		return nil, fmt.Errorf("core: unknown fault scenario %q (want one of %v)",
+			scenario, fault.Scenarios())
+	}
+	if fractions == nil {
+		fractions = DefaultFaultFractions()
+	}
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("core: no failure fractions to sweep")
+	}
+	times := s.SnapshotTimes()
+	if len(times) == 0 {
+		return nil, fmt.Errorf("core: no snapshots to simulate (NumSnapshots = %d)",
+			s.Scale.NumSnapshots)
+	}
+	if len(times) > resilienceMaxSnapshots {
+		times = times[:resilienceMaxSnapshots]
+	}
+
+	res = &ResilienceResult{
+		Scenario:      scenario,
+		Seed:          s.Scale.Seed,
+		SnapshotsUsed: len(times),
+	}
+
+	// Healthy baseline through the identical code path (zero plan).
+	baseline := map[Mode]modeEval{}
+	for _, mode := range []Mode{BP, Hybrid} {
+		ev, err := s.evalFaulted(ctx, mode, nil, times)
+		if err != nil {
+			return nil, err
+		}
+		baseline[mode] = *ev
+	}
+
+	for i, frac := range fractions {
+		if ctx.Err() != nil && len(res.Fractions) > 0 {
+			res.Partial = true
+			return res, ctx.Err()
+		}
+		plan, err := fault.ForScenario(scenario, frac, resilienceSeed(s.Scale.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		outages, err := plan.Realize(s.Const, len(s.Seg.Terminals))
+		if err != nil {
+			return nil, err
+		}
+		progressf("resilience %s %.0f%%: %d sats, %d sites, %d lasers down\n",
+			scenario, frac*100, outages.NumFailedSats(), outages.NumFailedSites(),
+			outages.NumFailedISLs())
+		for _, mode := range []Mode{BP, Hybrid} {
+			ev, err := s.evalFaulted(ctx, mode, outages, times)
+			if err != nil {
+				if ctx.Err() != nil && len(res.Fractions) > 0 {
+					// Drop this fraction's already-evaluated modes so
+					// Points only ever holds complete fractions.
+					res.Points = res.Points[:2*len(res.Fractions)]
+					res.Partial = true
+					return res, ctx.Err()
+				}
+				return nil, err
+			}
+			base := baseline[mode]
+			res.Points = append(res.Points, ResiliencePoint{
+				Fraction:            frac,
+				Mode:                mode,
+				FailedSats:          outages.NumFailedSats(),
+				FailedSites:         outages.NumFailedSites(),
+				FailedISLs:          outages.NumFailedISLs(),
+				MedianRTTMs:         ev.median,
+				P99RTTMs:            ev.p99,
+				MedianInflationPct:  pctIncrease(base.median, ev.median),
+				P99InflationPct:     pctIncrease(base.p99, ev.p99),
+				UnreachableFrac:     ev.unreachable,
+				ThroughputGbps:      ev.tput,
+				ThroughputRetention: retention(ev.tput, base.tput),
+			})
+		}
+		res.Fractions = append(res.Fractions, frac)
+	}
+	return res, nil
+}
+
+func retention(val, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return val / base
+}
+
+// evalFaulted evaluates one mode under one outage set (nil = healthy): it
+// builds masked snapshots from the sim's base options, measures per-pair
+// best RTTs and reachability across the snapshots, and runs the §5
+// throughput model at the first one.
+func (s *Sim) evalFaulted(ctx context.Context, mode Mode, outages *fault.Outages, times []time.Time) (*modeEval, error) {
+	b, err := s.builderWith(mode, func(o *graph.BuildOptions) {
+		if outages != nil {
+			o.Mask = outages.Mask
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := fill(len(s.Pairs), math.Inf(1))
+	var first *graph.Network
+	for _, t := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := b.At(t)
+		if first == nil {
+			first = n
+		}
+		rtts, err := s.pairRTTs(ctx, n, false)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rtts {
+			if r < best[i] {
+				best[i] = r
+			}
+		}
+	}
+	ev := &modeEval{}
+	var reachable []float64
+	for _, r := range best {
+		if math.IsInf(r, 1) {
+			continue
+		}
+		reachable = append(reachable, r)
+	}
+	ev.unreachable = 1 - float64(len(reachable))/float64(len(best))
+	if len(reachable) > 0 {
+		ev.median = stats.Percentile(reachable, 50)
+		ev.p99 = stats.Percentile(reachable, 99)
+	} else {
+		ev.median, ev.p99 = math.Inf(1), math.Inf(1)
+	}
+	tp, err := throughputOn(ctx, s, first, resilienceK)
+	if err != nil {
+		return nil, err
+	}
+	ev.tput = tp.AggregateGbps
+	return ev, nil
+}
+
+// BPPoint and HybridPoint fetch the two rows of one fraction (helpers for
+// reports and tests); ok is false if the fraction is absent.
+func (r *ResilienceResult) PointAt(frac float64, mode Mode) (ResiliencePoint, bool) {
+	for _, p := range r.Points {
+		if p.Fraction == frac && p.Mode == mode {
+			return p, true
+		}
+	}
+	return ResiliencePoint{}, false
+}
+
+// WriteResilienceReport renders the BP-vs-Hybrid degradation table.
+func WriteResilienceReport(w io.Writer, r *ResilienceResult) {
+	fmt.Fprintf(w, "resilience scenario=%s seed=%d snapshots=%d\n",
+		r.Scenario, r.Seed, r.SnapshotsUsed)
+	if r.Partial {
+		fmt.Fprintf(w, "resilience PARTIAL: %d of requested fractions completed\n", len(r.Fractions))
+	}
+	fmt.Fprintf(w, "resilience  frac  mode    medRTT    p99RTT   med-infl   p99-infl  unreach  tput-Gbps  retention\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "resilience %4.0f%%  %-6s %7.1fms %8.1fms %+9.1f%% %+9.1f%%  %6.1f%%  %9.1f  %8.0f%%\n",
+			p.Fraction*100, p.Mode, p.MedianRTTMs, p.P99RTTMs,
+			p.MedianInflationPct, p.P99InflationPct, p.UnreachableFrac*100,
+			p.ThroughputGbps, p.ThroughputRetention*100)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"leosim/internal/geo"
 	"leosim/internal/graph"
 	"leosim/internal/ground"
+	"leosim/internal/safe"
 )
 
 // Sim owns the simulation state for one constellation at one scale: the
@@ -32,16 +34,35 @@ type Sim struct {
 	// constraint (per-link capacities only — the ablation model).
 	SatCapGbps float64
 
+	// baseOpts are the build options NewSim resolved from its SimOptions
+	// (GSO policy, elevation override, capacities). Every builder rebuild
+	// — WithISLCapacity, beam sweeps, fault masking — starts from these,
+	// so a rebuild never silently drops an option the sim was created
+	// with.
+	baseOpts graph.BuildOptions
+
 	builders map[Mode]*graph.Builder
 
 	mu    sync.Mutex
-	cache map[cacheKey]*graph.Network
+	cache map[cacheKey]*cacheEntry
+	tick  int64 // access counter driving LRU eviction
 }
 
 type cacheKey struct {
 	t    time.Time
 	mode Mode
 }
+
+type cacheEntry struct {
+	n       *graph.Network
+	lastUse int64
+}
+
+// networkCacheSize bounds how many snapshot networks a Sim keeps alive.
+// Experiments sweep snapshots in order per mode, so a small LRU keeps the
+// both-modes working set of the current snapshot resident without pinning
+// the whole day at full scale.
+const networkCacheSize = 8
 
 // SimOption tweaks simulation construction.
 type SimOption func(*simConfig)
@@ -126,6 +147,9 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 	if cfg.satCapSet {
 		satCap = cfg.satCap
 	}
+	baseOpts := graph.DefaultOptions()
+	baseOpts.GSO = cfg.gso
+	baseOpts.MinElevationOverrideDeg = cfg.elevOverride
 	s := &Sim{
 		Scale:      scale,
 		SatCapGbps: satCap,
@@ -135,21 +159,31 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		Fleet:      fleet,
 		Cities:     cities,
 		Pairs:      pairs,
+		baseOpts:   baseOpts,
 		builders:   map[Mode]*graph.Builder{},
-		cache:      map[cacheKey]*graph.Network{},
+		cache:      map[cacheKey]*cacheEntry{},
 	}
 	for _, mode := range []Mode{BP, Hybrid} {
-		o := graph.DefaultOptions()
-		o.ISL = mode == Hybrid
-		o.GSO = cfg.gso
-		o.MinElevationOverrideDeg = cfg.elevOverride
-		b, err := graph.NewBuilder(c, seg, fleet, o)
+		b, err := s.builderWith(mode, nil)
 		if err != nil {
 			return nil, err
 		}
 		s.builders[mode] = b
 	}
 	return s, nil
+}
+
+// builderWith constructs a builder for mode from the sim's base options,
+// optionally mutated. This is the single path every builder (re)build goes
+// through, so GSO policy and elevation overrides survive capacity sweeps
+// and fault injection.
+func (s *Sim) builderWith(mode Mode, mutate func(*graph.BuildOptions)) (*graph.Builder, error) {
+	o := s.baseOpts
+	o.ISL = mode == Hybrid
+	if mutate != nil {
+		mutate(&o)
+	}
+	return graph.NewBuilder(s.Const, s.Seg, s.Fleet, o)
 }
 
 // SnapshotTimes returns the simulated-day sampling instants.
@@ -165,45 +199,73 @@ func (s *Sim) SnapshotTimes() []time.Time {
 func (s *Sim) NetworkAt(t time.Time, mode Mode) *graph.Network {
 	key := cacheKey{t: t, mode: mode}
 	s.mu.Lock()
-	if n, ok := s.cache[key]; ok {
+	if e, ok := s.cache[key]; ok {
+		s.tick++
+		e.lastUse = s.tick
 		s.mu.Unlock()
-		return n
+		return e.n
 	}
 	s.mu.Unlock()
 	n := s.builders[mode].At(t)
 	s.mu.Lock()
-	// Keep the cache bounded: one network per (snapshot, mode) is fine at
-	// reduced scale but too large at full scale; evict everything once it
-	// exceeds a handful of entries.
-	if len(s.cache) >= 8 {
-		s.cache = map[cacheKey]*graph.Network{}
+	// Bounded LRU: evict the least-recently-used entry instead of wiping
+	// the cache, so experiments that interleave BP and Hybrid lookups of
+	// the same snapshot never rebuild what they just used.
+	if len(s.cache) >= networkCacheSize {
+		var victim cacheKey
+		oldest := int64(-1)
+		for k, e := range s.cache {
+			if oldest < 0 || e.lastUse < oldest {
+				victim, oldest = k, e.lastUse
+			}
+		}
+		delete(s.cache, victim)
 	}
-	s.cache[key] = n
+	s.tick++
+	s.cache[key] = &cacheEntry{n: n, lastUse: s.tick}
 	s.mu.Unlock()
 	return n
 }
 
+// cachedNetworks reports how many snapshots are currently cached (tests).
+func (s *Sim) cachedNetworks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// dropCaches empties the snapshot cache after a builder swap.
+func (s *Sim) dropCaches() {
+	s.cache = map[cacheKey]*cacheEntry{}
+}
+
 // WithISLCapacity rebuilds the Hybrid builder with a different ISL capacity
-// (Fig 5). It returns an error if the sim has no hybrid builder.
+// (Fig 5), preserving every other option the sim was created with (GSO
+// policy, elevation override).
 func (s *Sim) WithISLCapacity(gbps float64) error {
-	o := graph.DefaultOptions()
-	o.ISL = true
-	o.ISLCapGbps = gbps
-	b, err := graph.NewBuilder(s.Const, s.Seg, s.Fleet, o)
+	b, err := s.builderWith(Hybrid, func(o *graph.BuildOptions) {
+		o.ISLCapGbps = gbps
+	})
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.builders[Hybrid] = b
-	s.cache = map[cacheKey]*graph.Network{}
+	s.dropCaches()
 	s.mu.Unlock()
 	return nil
 }
 
+// pairRTTsTestHook, when non-nil, runs inside every pairRTTs worker. Tests
+// inject panics here to verify worker failures surface as errors.
+var pairRTTsTestHook func(src int)
+
 // pairRTTs computes, for one snapshot network, the round-trip time in ms for
 // every pair (indexed like s.Pairs). Unreachable pairs get +Inf. noGround
 // restricts transit to satellites (used by the §6 "pure ISL path" model).
-func (s *Sim) pairRTTs(n *graph.Network, noGroundTransit bool) []float64 {
+// Cancellation of ctx stops the fan-out between sources and returns the
+// context's error; a worker panic comes back as a *safe.PanicError.
+func (s *Sim) pairRTTs(ctx context.Context, n *graph.Network, noGroundTransit bool) ([]float64, error) {
 	bySrc := map[int][]int{}
 	for pi, p := range s.Pairs {
 		bySrc[p.Src] = append(bySrc[p.Src], pi)
@@ -213,14 +275,13 @@ func (s *Sim) pairRTTs(n *graph.Network, noGroundTransit bool) []float64 {
 		sources = append(sources, src)
 	}
 	out := make([]float64, len(s.Pairs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	g := safe.NewGroup(ctx, runtime.GOMAXPROCS(0))
 	for _, src := range sources {
-		wg.Add(1)
-		go func(src int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		src := src
+		g.Go(func() error {
+			if pairRTTsTestHook != nil {
+				pairRTTsTestHook(src)
+			}
 			var dist []float64
 			if noGroundTransit {
 				dist, _ = n.DijkstraExpand(n.CityNode(src), nil,
@@ -231,10 +292,13 @@ func (s *Sim) pairRTTs(n *graph.Network, noGroundTransit bool) []float64 {
 			for _, pi := range bySrc[src] {
 				out[pi] = 2 * dist[n.CityNode(s.Pairs[pi].Dst)]
 			}
-		}(src)
+			return nil
+		})
 	}
-	wg.Wait()
-	return out
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // String summarizes the sim.

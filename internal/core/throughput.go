@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 
 	"leosim/internal/flow"
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 )
 
 // ThroughputResult holds one §5 data point: the max-min fair aggregate
@@ -28,14 +30,30 @@ type ThroughputResult struct {
 // multipath degree k at snapshot time t, routing each pair over its k
 // edge-disjoint shortest paths and applying max-min fair allocation
 // (the floodns-style routed-flow model of §5).
-func RunThroughput(s *Sim, mode Mode, k int, t time.Time) (*ThroughputResult, error) {
+func RunThroughput(ctx context.Context, s *Sim, mode Mode, k int, t time.Time) (res *ThroughputResult, err error) {
+	defer safe.RecoverTo(&err)
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
 	}
 	n := s.NetworkAt(t, mode)
-	paths := computePairPaths(s, n, k)
+	res, err = throughputOn(ctx, s, n, k)
+	if err != nil {
+		return nil, err
+	}
+	res.Mode = mode
+	return res, nil
+}
+
+// throughputOn runs the routed-flow throughput model on an already-built
+// network. RunResilience uses it directly to evaluate fault-masked
+// snapshots that never enter the sim's cache.
+func throughputOn(ctx context.Context, s *Sim, n *graph.Network, k int) (*ThroughputResult, error) {
+	paths, err := computePairPaths(ctx, s, n, k)
+	if err != nil {
+		return nil, err
+	}
 	pr := flow.NewNetworkProblem(n, s.SatCapGbps)
-	res := &ThroughputResult{Mode: mode, K: k}
+	res := &ThroughputResult{K: k}
 	for _, pp := range paths {
 		res.PathsFound += len(pp)
 		res.PathsMissing += k - len(pp)
@@ -69,27 +87,27 @@ func progressf(format string, args ...interface{}) {
 }
 
 // computePairPaths finds k edge-disjoint shortest paths per pair, in
-// parallel across pairs.
-func computePairPaths(s *Sim, n *graph.Network, k int) [][]graph.Path {
+// parallel across pairs. Cancellation stops scheduling further pairs and
+// returns the context's error; a worker panic returns as a *safe.PanicError.
+func computePairPaths(ctx context.Context, s *Sim, n *graph.Network, k int) ([][]graph.Path, error) {
 	out := make([][]graph.Path, len(s.Pairs))
-	var wg sync.WaitGroup
 	var done int64
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	g := safe.NewGroup(ctx, runtime.GOMAXPROCS(0))
 	for pi := range s.Pairs {
-		wg.Add(1)
-		go func(pi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		pi := pi
+		g.Go(func() error {
 			p := s.Pairs[pi]
 			out[pi] = n.KDisjointPaths(n.CityNode(p.Src), n.CityNode(p.Dst), k)
 			if d := atomic.AddInt64(&done, 1); d%1000 == 0 {
 				progressf("  ... %d/%d pairs routed\n", d, len(s.Pairs))
 			}
-		}(pi)
+			return nil
+		})
 	}
-	wg.Wait()
-	return out
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Fig4Row is one row of the Fig 4 table: a constellation × mode × k cell.
@@ -102,12 +120,12 @@ type Fig4Row struct {
 
 // RunFig4 evaluates the full Fig 4 matrix on this sim's constellation:
 // {BP, Hybrid} × {k=1, k=4} at the first snapshot.
-func RunFig4(s *Sim) ([]Fig4Row, error) {
+func RunFig4(ctx context.Context, s *Sim) ([]Fig4Row, error) {
 	t := s.SnapshotTimes()[0]
 	var rows []Fig4Row
 	for _, mode := range []Mode{BP, Hybrid} {
 		for _, k := range []int{1, 4} {
-			r, err := RunThroughput(s, mode, k, t)
+			r, err := RunThroughput(ctx, s, mode, k, t)
 			if err != nil {
 				return nil, err
 			}
@@ -131,15 +149,19 @@ type Fig5Point struct {
 // (Fig 5), and also returns the BP baseline at k=4. Paths are shortest-delay
 // and therefore capacity-independent, so they are computed once and the
 // allocation re-run per capacity point.
-func RunFig5(s *Sim, ratios []float64) (points []Fig5Point, bpGbps float64, err error) {
+func RunFig5(ctx context.Context, s *Sim, ratios []float64) (points []Fig5Point, bpGbps float64, err error) {
+	defer safe.RecoverTo(&err)
 	t := s.SnapshotTimes()[0]
 	const k = 4
-	bp, err := RunThroughput(s, BP, k, t)
+	bp, err := RunThroughput(ctx, s, BP, k, t)
 	if err != nil {
 		return nil, 0, err
 	}
 	n := s.NetworkAt(t, Hybrid)
-	paths := computePairPaths(s, n, k)
+	paths, err := computePairPaths(ctx, s, n, k)
+	if err != nil {
+		return nil, 0, err
+	}
 	pr := flow.NewNetworkProblem(n, s.SatCapGbps)
 	for _, pp := range paths {
 		for _, p := range pp {
@@ -150,6 +172,9 @@ func RunFig5(s *Sim, ratios []float64) (points []Fig5Point, bpGbps float64, err 
 	}
 	const gslCap = 20.0
 	for _, ratio := range ratios {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		pr.SetISLCapacity(gslCap * ratio)
 		alloc, err := pr.MaxMinFair()
 		if err != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"leosim/internal/flow"
 	"leosim/internal/routing"
+	"leosim/internal/safe"
 )
 
 // TEResult compares shortest-delay multipath routing (the paper's scheme)
@@ -33,12 +35,16 @@ func (r *TEResult) ThroughputGainFrac() float64 {
 // RunTrafficEngineering evaluates the §5 prediction: congestion-aware
 // routing raises aggregate throughput over shortest-delay multipath at the
 // cost of longer paths.
-func RunTrafficEngineering(s *Sim, mode Mode, k int, t time.Time) (*TEResult, error) {
+func RunTrafficEngineering(ctx context.Context, s *Sim, mode Mode, k int, t time.Time) (res *TEResult, err error) {
+	defer safe.RecoverTo(&err)
 	n := s.NetworkAt(t, mode)
-	res := &TEResult{Mode: mode, K: k}
+	res = &TEResult{Mode: mode, K: k}
 
 	// Baseline: shortest-delay k edge-disjoint multipath.
-	basePaths := computePairPaths(s, n, k)
+	basePaths, err := computePairPaths(ctx, s, n, k)
+	if err != nil {
+		return nil, err
+	}
 	basePr := flow.NewNetworkProblem(n, s.SatCapGbps)
 	var delaySum float64
 	var delayN int

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestRunTrafficEngineering(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunTrafficEngineering(s, Hybrid, 4, s.SnapshotTimes()[0])
+	r, err := RunTrafficEngineering(context.Background(), s, Hybrid, 4, s.SnapshotTimes()[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"leosim/internal/flow"
 	"leosim/internal/graph"
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -33,9 +35,13 @@ type UtilizationResult struct {
 // RunUtilization routes the traffic matrix (k=4 paths, max-min allocation)
 // at snapshot t and attributes each flow's rate to every satellite on its
 // path.
-func RunUtilization(s *Sim, mode Mode, t time.Time) (*UtilizationResult, error) {
+func RunUtilization(ctx context.Context, s *Sim, mode Mode, t time.Time) (res *UtilizationResult, err error) {
+	defer safe.RecoverTo(&err)
 	n := s.NetworkAt(t, mode)
-	paths := computePairPaths(s, n, 4)
+	paths, err := computePairPaths(ctx, s, n, 4)
+	if err != nil {
+		return nil, err
+	}
 	pr := flow.NewNetworkProblem(n, s.SatCapGbps)
 	var flat []graph.Path
 	for _, pp := range paths {
@@ -51,7 +57,7 @@ func RunUtilization(s *Sim, mode Mode, t time.Time) (*UtilizationResult, error) 
 		return nil, err
 	}
 
-	res := &UtilizationResult{Mode: mode, PerSatGbps: make([]float64, n.NumSat)}
+	res = &UtilizationResult{Mode: mode, PerSatGbps: make([]float64, n.NumSat)}
 	for fi, p := range flat {
 		rate := alloc[fi]
 		res.AggregateGbps += rate

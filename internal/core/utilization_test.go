@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,11 +10,11 @@ import (
 func TestRunUtilization(t *testing.T) {
 	s := getTinySim(t)
 	t0 := s.SnapshotTimes()[0]
-	bp, err := RunUtilization(s, BP, t0)
+	bp, err := RunUtilization(context.Background(), s, BP, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy, err := RunUtilization(s, Hybrid, t0)
+	hy, err := RunUtilization(context.Background(), s, Hybrid, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestGini(t *testing.T) {
 
 func TestRunPathChurn(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunPathChurn(s)
+	r, err := RunPathChurn(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunPathChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunPathChurn(one); err == nil {
+	if _, err := RunPathChurn(context.Background(), one); err == nil {
 		t.Errorf("single snapshot must fail")
 	}
 }

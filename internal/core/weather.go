@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"leosim/internal/geo"
 	"leosim/internal/graph"
 	"leosim/internal/itur"
+	"leosim/internal/safe"
 	"leosim/internal/stats"
 )
 
@@ -73,52 +74,40 @@ func pathCurve(n *graph.Network, p graph.Path, band Band) (itur.Curve, error) {
 // the pure-ISL model (worst of first/last hop of the satellite-transit-only
 // shortest path). The snapshot loop is outermost so each network is built
 // exactly once.
-func weatherCurves(s *Sim, pairs []Pair, band Band) (bp, isl [][]itur.Curve, err error) {
+func weatherCurves(ctx context.Context, s *Sim, pairs []Pair, band Band) (bp, isl [][]itur.Curve, err error) {
+	defer safe.RecoverTo(&err)
 	bp = make([][]itur.Curve, len(pairs))
 	isl = make([][]itur.Curve, len(pairs))
-	var firstErr error
-	var errMu sync.Mutex
 	for _, t := range s.SnapshotTimes() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		bpNet := s.NetworkAt(t, BP)
 		hyNet := s.NetworkAt(t, Hybrid)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		g := safe.NewGroup(ctx, runtime.GOMAXPROCS(0))
 		for pi := range pairs {
-			wg.Add(1)
-			go func(pi int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+			pi := pi
+			g.Go(func() error {
 				pair := pairs[pi]
 				if p, found := bpNet.ShortestPath(bpNet.CityNode(pair.Src), bpNet.CityNode(pair.Dst)); found {
 					c, cerr := pathCurve(bpNet, p, band)
 					if cerr != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = cerr
-						}
-						errMu.Unlock()
-						return
+						return cerr
 					}
-					bp[pi] = append(bp[pi], c)
+					bp[pi] = append(bp[pi], c) // pi is this worker's slot
 				}
 				if p, found := hyNet.ShortestPathSatTransit(hyNet.CityNode(pair.Src), hyNet.CityNode(pair.Dst)); found {
 					c, cerr := pathCurve(hyNet, p, band)
 					if cerr != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = cerr
-						}
-						errMu.Unlock()
-						return
+						return cerr
 					}
 					isl[pi] = append(isl[pi], c)
 				}
-			}(pi)
+				return nil
+			})
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, nil, firstErr
+		if err := g.Wait(); err != nil {
+			return nil, nil, err
 		}
 	}
 	return bp, isl, nil
@@ -126,16 +115,16 @@ func weatherCurves(s *Sim, pairs []Pair, band Band) (bp, isl [][]itur.Curve, err
 
 // RunWeather runs the Fig 6 experiment at Ku band: for every pair, the
 // 99.5th percentile attenuation (A at p=0.5%) of BP versus ISL paths.
-func RunWeather(s *Sim) (*WeatherResult, error) {
-	return RunWeatherBand(s, KuBand)
+func RunWeather(ctx context.Context, s *Sim) (*WeatherResult, error) {
+	return RunWeatherBand(ctx, s, KuBand)
 }
 
 // RunWeatherBand runs Fig 6 at an arbitrary frequency plan. §6 notes the
 // difference "would be even higher for Ka-band communication (intended for
 // use for larger terrestrial gateways), which is affected more by weather";
 // pass KaBand to quantify that.
-func RunWeatherBand(s *Sim, band Band) (*WeatherResult, error) {
-	bp, isl, err := weatherCurves(s, s.Pairs, band)
+func RunWeatherBand(ctx context.Context, s *Sim, band Band) (*WeatherResult, error) {
+	bp, isl, err := weatherCurves(ctx, s, s.Pairs, band)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +159,7 @@ type PairWeather struct {
 // RunPairWeather computes the Fig 8 curves for one named city pair. Both
 // cities are added to the sim's city set if missing (the paper notes
 // Delhi–Sydney is not among the sampled pairs).
-func RunPairWeather(s *Sim, srcName, dstName string) (*PairWeather, error) {
+func RunPairWeather(ctx context.Context, s *Sim, srcName, dstName string) (*PairWeather, error) {
 	if err := s.EnsureCity(srcName); err != nil {
 		return nil, err
 	}
@@ -186,7 +175,7 @@ func RunPairWeather(s *Sim, srcName, dstName string) (*PairWeather, error) {
 			dst = i
 		}
 	}
-	bp, isl, err := weatherCurves(s, []Pair{{Src: src, Dst: dst}}, KuBand)
+	bp, isl, err := weatherCurves(ctx, s, []Pair{{Src: src, Dst: dst}}, KuBand)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestPathCurveNoRadioHops(t *testing.T) {
 
 func TestRunWeatherTiny(t *testing.T) {
 	s := getTinySim(t)
-	r, err := RunWeather(s)
+	r, err := RunWeather(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunPairWeatherDelhiSydney(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pw, err := RunPairWeather(s, "Delhi", "Sydney")
+	pw, err := RunPairWeather(context.Background(), s, "Delhi", "Sydney")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestKaBandWorseThanKu(t *testing.T) {
 	// §6: Ka band is affected more by weather. Run the same tiny sim at
 	// both bands and compare median 99.5th-percentile attenuations.
 	s := getTinySim(t)
-	ku, err := RunWeatherBand(s, KuBand)
+	ku, err := RunWeatherBand(context.Background(), s, KuBand)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ka, err := RunWeatherBand(s, KaBand)
+	ka, err := RunWeatherBand(context.Background(), s, KaBand)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"leosim/internal/constellation"
 	"leosim/internal/geo"
 	"leosim/internal/ground"
+	"leosim/internal/safe"
 )
 
 // BuildOptions configure per-snapshot graph construction.
@@ -36,6 +37,13 @@ type BuildOptions struct {
 	// cap; this knob quantifies what happens when the number of beams or
 	// channels is finite. Dense relay deployments (BP) suffer first.
 	MaxGSLsPerSatellite int
+	// Mask, when non-nil, is applied to every built snapshot after
+	// construction. Fault injection plugs in here: a realized
+	// fault.Outages masks out the links of failed satellites, ground
+	// sites and ISL lasers and degrades GSL capacities. The mask must be
+	// deterministic and safe for concurrent snapshots (it receives a
+	// network no other goroutine holds yet).
+	Mask func(*Network)
 }
 
 // DefaultOptions returns the paper's §5 capacities with ISLs disabled.
@@ -299,10 +307,17 @@ func (b *Builder) At(t time.Time) *Network {
 			n.AddLink(int32(l.A), int32(l.B), LinkISL, b.Opts.ISLCapGbps)
 		}
 	}
+	if b.Opts.Mask != nil {
+		b.Opts.Mask(n)
+	}
 	return n
 }
 
 // parallelChunks splits [0,n) into GOMAXPROCS-sized chunks run concurrently.
+// A panic in a worker goroutine is recovered and re-thrown on the calling
+// goroutine as a *safe.PanicError carrying the worker's stack, so callers
+// (the experiment entry points defer safe.RecoverTo) see an error instead
+// of a dead process.
 func parallelChunks(n int, fn func(lo, hi int)) {
 	workers := 8
 	if n < workers*4 {
@@ -310,6 +325,8 @@ func parallelChunks(n int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicErr error
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -323,8 +340,20 @@ func parallelChunks(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = safe.AsError(r)
+					}
+					panicMu.Unlock()
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicErr != nil {
+		panic(panicErr)
+	}
 }

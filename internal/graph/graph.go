@@ -146,6 +146,28 @@ func (n *Network) AddLink(a, b int32, kind LinkKind, capGbps float64) int32 {
 	return idx
 }
 
+// RewriteLinks rebuilds the link set: fn receives each link and returns the
+// (possibly modified) link plus whether to keep it. Dropped links disappear
+// from the adjacency structure; kept links are re-indexed densely. This is
+// the mutation primitive fault injection uses to knock out a node's links
+// or degrade link capacities on a freshly built snapshot.
+func (n *Network) RewriteLinks(fn func(Link) (Link, bool)) {
+	kept := make([]Link, 0, len(n.Links))
+	for _, l := range n.Links {
+		if nl, keep := fn(l); keep {
+			kept = append(kept, nl)
+		}
+	}
+	n.Links = kept
+	for i := range n.adj {
+		n.adj[i] = n.adj[i][:0]
+	}
+	for li, l := range n.Links {
+		n.adj[l.A] = append(n.adj[l.A], EdgeRef{To: l.B, Link: int32(li)})
+		n.adj[l.B] = append(n.adj[l.B], EdgeRef{To: l.A, Link: int32(li)})
+	}
+}
+
 // Degree returns the number of links at node v.
 func (n *Network) Degree(v int32) int { return len(n.adj[v]) }
 

@@ -10,8 +10,14 @@
 // against one import path:
 //
 //	sim, err := leosim.NewSim(leosim.Starlink, leosim.ReducedScale())
-//	res, err := leosim.RunLatency(sim)
+//	res, err := leosim.RunLatency(ctx, sim)
 //	leosim.WriteLatencyReport(os.Stdout, res, 20)
+//
+// Every Run* entry point takes a context.Context and stops cooperatively —
+// within about one snapshot's work — when it is cancelled; experiments that
+// aggregate across snapshots return the completed prefix (flagged Partial)
+// alongside ctx.Err(). Worker panics inside the parallel phases surface as
+// returned errors carrying the worker's stack, never as a crashed process.
 //
 // The deeper layers remain available for specialised use — orbital mechanics
 // (internal/orbit: Kepler + a full SGP4 port with TLE I/O), Walker-shell and
@@ -28,6 +34,7 @@ import (
 
 	"leosim/internal/constellation"
 	"leosim/internal/core"
+	"leosim/internal/fault"
 	"leosim/internal/geo"
 	"leosim/internal/ground"
 	"leosim/internal/itur"
@@ -44,6 +51,20 @@ const (
 	Starlink = core.Starlink
 	// Kuiper selects the 34×34 / 630 km / 51.9° phase-1 shell.
 	Kuiper = core.Kuiper
+)
+
+// Fault-injection scenarios for RunResilience.
+const (
+	// SatOutage fails a random fraction of satellites.
+	SatOutage = fault.SatOutage
+	// PlaneOutage fails whole orbital planes (correlated failures).
+	PlaneOutage = fault.PlaneOutage
+	// SiteOutage fails ground sites (cities and relays).
+	SiteOutage = fault.SiteOutage
+	// ISLOutage fails individual ISL lasers.
+	ISLOutage = fault.ISLOutage
+	// GSLDegrade scales GSL capacity down fleet-wide (rain fade).
+	GSLDegrade = fault.GSLDegrade
 )
 
 // Core experiment types.
@@ -99,6 +120,19 @@ type (
 	RelayPoint = core.RelayPoint
 	// GSOImpactResult is §7's end-to-end arc-avoidance comparison.
 	GSOImpactResult = core.GSOImpactResult
+	// ResilienceResult is the fault-injection degradation sweep.
+	ResilienceResult = core.ResilienceResult
+	// ResiliencePoint is one fraction × mode cell of the sweep.
+	ResiliencePoint = core.ResiliencePoint
+	// FaultScenario names one failure dimension (SatOutage, PlaneOutage,
+	// SiteOutage, ISLOutage, GSLDegrade).
+	FaultScenario = fault.Scenario
+	// FaultPlan is a seeded failure description, realizable against a
+	// constellation into concrete outages.
+	FaultPlan = fault.Plan
+	// FaultOutages is a realized failure set whose Mask plugs into graph
+	// building.
+	FaultOutages = fault.Outages
 	// Shell describes one orbital shell.
 	Shell = constellation.Shell
 	// City is one traffic source/sink.
@@ -194,6 +228,16 @@ var (
 	RunRelayDensitySweep = core.RunRelayDensitySweep
 	// RunGSOImpact measures §7's end-to-end effect of arc avoidance.
 	RunGSOImpact = core.RunGSOImpact
+	// RunResilience sweeps a failure scenario over growing fractions and
+	// reports BP-vs-Hybrid latency inflation, unreachable pairs and
+	// throughput retention. Deterministic for a fixed sim seed.
+	RunResilience = core.RunResilience
+	// DefaultFaultFractions is the standard 0–30% sweep.
+	DefaultFaultFractions = core.DefaultFaultFractions
+	// FaultScenarios lists every supported scenario.
+	FaultScenarios = fault.Scenarios
+	// ForFaultScenario builds the plan failing a fraction of one resource.
+	ForFaultScenario = fault.ForScenario
 )
 
 // Report writers (text renderings of each figure/table).
@@ -215,8 +259,12 @@ var (
 	WriteRelayReport       = core.WriteRelayReport
 	WriteGSOImpactReport   = core.WriteGSOImpactReport
 	WritePathChurnReport   = core.WritePathChurnReport
+	WriteResilienceReport  = core.WriteResilienceReport
 	// WriteJSON emits any experiment result as a JSON envelope.
 	WriteJSON = core.WriteJSON
+	// WriteJSONPartial is WriteJSON with an explicit partial flag (used
+	// when a cancelled run flushes the prefix it completed).
+	WriteJSONPartial = core.WriteJSONPartial
 	// WriteSnapshotGeoJSON exports a snapshot + routed pair as GeoJSON.
 	WriteSnapshotGeoJSON = core.WriteSnapshotGeoJSON
 )

@@ -2,6 +2,7 @@ package leosim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Errorf("rtt = %v", p.RTTMs())
 	}
 
-	res, err := RunLatency(sim)
+	res, err := RunLatency(context.Background(), sim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +37,36 @@ func TestFacadeEndToEnd(t *testing.T) {
 	WriteLatencyReport(&buf, res, 5)
 	if buf.Len() == 0 {
 		t.Errorf("empty report")
+	}
+}
+
+// The fault-injection surface must work end-to-end through the facade:
+// scenario constants, the sweep, and the report.
+func TestFacadeResilience(t *testing.T) {
+	sim, err := NewSim(Starlink, TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunResilience(context.Background(), sim, PlaneOutage, []float64{0, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != PlaneOutage || len(res.Points) != 4 {
+		t.Errorf("sweep shape: scenario=%v points=%d", res.Scenario, len(res.Points))
+	}
+	p, ok := res.PointAt(0.25, BP)
+	if !ok || p.FailedSats == 0 {
+		t.Errorf("25%% plane outage failed no satellites: %+v", p)
+	}
+	var buf bytes.Buffer
+	WriteResilienceReport(&buf, res)
+	if buf.Len() == 0 {
+		t.Errorf("empty resilience report")
+	}
+	for _, sc := range FaultScenarios() {
+		if !sc.Valid() {
+			t.Errorf("scenario %q invalid", sc)
+		}
 	}
 }
 
