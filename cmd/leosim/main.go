@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +62,8 @@ func run(ctx context.Context, args []string) error {
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
 	faultName := fs.String("fault", "sat", "resilience scenario: sat|plane|site|isl|gslcap")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
@@ -110,6 +114,31 @@ func run(ctx context.Context, args []string) error {
 
 	if *verbose {
 		leosim.SetProgress(os.Stderr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: memprofile:", err)
+			}
+		}()
 	}
 
 	start := time.Now()

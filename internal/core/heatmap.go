@@ -25,6 +25,10 @@ type HeatmapResult struct {
 	// BPGroundHops and ISLGroundHops list (lat, lon) of each path's
 	// ground-side nodes (endpoints included).
 	BPGroundHops, ISLGroundHops [][2]float64
+	// BPHopDelayMs gives, per BP ground hop (aligned with BPGroundHops),
+	// the one-way propagation delay from the source and to the destination
+	// city — where along the route each vulnerable ground bounce sits.
+	BPHopDelayMs [][2]float64
 }
 
 // RunHeatmap computes the Fig 7 map for the region spanned by the named
@@ -82,6 +86,7 @@ func RunHeatmap(ctx context.Context, s *Sim, srcName, dstName string, stepDeg fl
 	bpNet := s.NetworkAt(t, BP)
 	if p, ok := bpNet.ShortestPath(bpNet.CityNode(src), bpNet.CityNode(dst)); ok {
 		res.BPGroundHops = groundHops(bpNet, p)
+		res.BPHopDelayMs = hopDelays(bpNet, p)
 	}
 	hyNet := s.NetworkAt(t, Hybrid)
 	if p, ok := hyNet.ShortestPathSatTransit(hyNet.CityNode(src), hyNet.CityNode(dst)); ok {
@@ -99,6 +104,20 @@ func groundHops(n *graph.Network, p graph.Path) [][2]float64 {
 		if n.IsGroundSide(v) {
 			ll := geo.FromECEF(n.Pos[v])
 			out = append(out, [2]float64{ll.Lat, ll.Lon})
+		}
+	}
+	return out
+}
+
+// hopDelays annotates each ground hop of p with its one-way delay from both
+// path endpoints, via one parallel two-source sweep.
+func hopDelays(n *graph.Network, p graph.Path) [][2]float64 {
+	ends := []int32{p.Nodes[0], p.Nodes[len(p.Nodes)-1]}
+	d := n.MultiSourceDistances(ends)
+	var out [][2]float64
+	for _, v := range p.Nodes {
+		if n.IsGroundSide(v) {
+			out = append(out, [2]float64{d[0][v], d[1][v]})
 		}
 	}
 	return out
@@ -169,6 +188,13 @@ func WriteHeatmapReport(w io.Writer, r *HeatmapResult) {
 		worstHop, worstEnd)
 	fmt.Fprintf(w, "fig7 BP ground hops: %d, ISL ground hops: %d (endpoints only)\n",
 		len(r.BPGroundHops), len(r.ISLGroundHops))
+	if len(r.BPHopDelayMs) > 2 {
+		fmt.Fprintf(w, "fig7 BP intermediate hops (one-way ms from src → to dst):")
+		for _, hd := range r.BPHopDelayMs[1 : len(r.BPHopDelayMs)-1] {
+			fmt.Fprintf(w, " %.1f→%.1f", hd[0], hd[1])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func minF(a, b float64) float64 {

@@ -282,15 +282,17 @@ func (s *Sim) pairRTTs(ctx context.Context, n *graph.Network, noGroundTransit bo
 			if pairRTTsTestHook != nil {
 				pairRTTsTestHook(src)
 			}
-			var dist []float64
+			// Pooled scratch state: the whole search runs allocation-free
+			// and distances are read back without materializing slices.
+			st := graph.AcquireSearch()
+			defer st.Release()
+			spec := graph.SearchSpec{Src: n.CityNode(src), Target: graph.NoTarget}
 			if noGroundTransit {
-				dist, _ = n.DijkstraExpand(n.CityNode(src), nil,
-					func(v int32) bool { return !n.IsGroundSide(v) })
-			} else {
-				dist, _ = n.Dijkstra(n.CityNode(src), nil)
+				spec.Expand = func(v int32) bool { return !n.IsGroundSide(v) }
 			}
+			n.Search(st, spec)
 			for _, pi := range bySrc[src] {
-				out[pi] = 2 * dist[n.CityNode(s.Pairs[pi].Dst)]
+				out[pi] = 2 * st.Dist(n.CityNode(s.Pairs[pi].Dst))
 			}
 			return nil
 		})

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+
+	"leosim/internal/geo"
+)
+
+// benchGrid builds a rows×cols torus-grid network with nodes placed on a
+// lat/lon lattice, so link delays vary with latitude (realistic, few exact
+// ties) and every interior pair has ≥ 4 edge-disjoint paths. Corner nodes
+// are cities, the rest satellites, so transit-restricted searches have work
+// to do.
+func benchGrid(rows, cols int) *Network {
+	n := &Network{}
+	node := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			lat := -60 + 120*float64(r)/float64(rows-1)
+			lon := -180 + 360*float64(c)/float64(cols)
+			kind := NodeSatellite
+			alt := 550.0
+			if (r == 0 || r == rows-1) && (c == 0 || c == cols-1) {
+				kind = NodeCity
+				alt = 0
+			}
+			n.AddNode(kind, geo.LatLon{Lat: lat, Lon: lon, Alt: alt}.ToECEF(), "")
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.AddLink(node(r, c), node(r, (c+1)%cols), LinkISL, 100)
+			if r+1 < rows {
+				n.AddLink(node(r, c), node(r+1, c), LinkISL, 100)
+			}
+		}
+	}
+	return n
+}
+
+// BenchmarkDijkstra measures a full single-source search on an 8k-node grid
+// — the primitive every experiment sweep runs thousands of times.
+func BenchmarkDijkstra(b *testing.B) {
+	n := benchGrid(80, 100)
+	src := int32(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist, _ := n.Dijkstra(src, nil)
+		if dist[int32(n.N()-1)] <= 0 {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+// BenchmarkShortestPath measures the targeted (early-exit) search plus path
+// extraction for a cross-grid pair.
+func BenchmarkShortestPath(b *testing.B) {
+	n := benchGrid(80, 100)
+	src, dst := int32(0), int32(n.N()-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, ok := n.ShortestPath(src, dst)
+		if !ok || p.Hops() == 0 {
+			b.Fatal("no path")
+		}
+	}
+}
+
+// BenchmarkKDisjoint measures the §5 routing primitive: k=4 edge-disjoint
+// shortest paths between opposite grid corners.
+func BenchmarkKDisjoint(b *testing.B) {
+	n := benchGrid(80, 100)
+	// Interior nodes: torus columns + bounded rows give corners degree 3,
+	// interior degree 4, so k=4 disjoint paths need an interior pair.
+	src, dst := int32(40*100), int32(40*100+50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := n.KDisjointPaths(src, dst, 4)
+		if len(paths) != 4 {
+			b.Fatalf("got %d paths", len(paths))
+		}
+	}
+}
+
+// BenchmarkYen measures Yen's k-shortest loopless paths on a smaller grid
+// (Yen runs O(k·|V|) spur searches).
+func BenchmarkYen(b *testing.B) {
+	n := benchGrid(12, 16)
+	src, dst := int32(0), int32(n.N()-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := n.KShortestPaths(src, dst, 8)
+		if len(paths) != 8 {
+			b.Fatalf("got %d paths", len(paths))
+		}
+	}
+}

@@ -310,6 +310,10 @@ func (b *Builder) At(t time.Time) *Network {
 	if b.Opts.Mask != nil {
 		b.Opts.Mask(n)
 	}
+	// Freeze the adjacency into CSR now (after any fault mask rewrote the
+	// link set) so concurrent experiment workers start routing on a
+	// published layout instead of racing to build it lazily.
+	n.ensureCSR()
 	return n
 }
 

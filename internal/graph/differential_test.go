@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"leosim/internal/geo"
+)
+
+// This file checks the allocation-free kernel against a deliberately naive
+// reference Dijkstra (linear scan, no heap, no stamping, map-based bans) on
+// randomized graphs. Link weights are quantized to small integers so
+// equal-distance ties are common: the comparison is exact — distances,
+// predecessor links, and extracted paths must be bit-identical, which pins
+// down the kernel's (dist, node) tie-break as well as its correctness.
+
+// naiveDijkstra mirrors the kernel's semantics with O(n²) linear scans:
+// settle the unsettled reached node with minimal (dist, node); a settled
+// non-source node forwards only if it is not banned and expand allows it;
+// relaxation walks the link list in index order and accepts strict
+// improvements only.
+func naiveDijkstra(n *Network, src, target int32, bannedLinks, bannedNodes map[int32]bool,
+	expand func(int32) bool, cost func(int32) float64) (dist []float64, prev []int32) {
+	nn := n.N()
+	dist = make([]float64, nn)
+	prev = make([]int32, nn)
+	settled := make([]bool, nn)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		v := int32(-1)
+		for u := int32(0); u < int32(nn); u++ {
+			if settled[u] || math.IsInf(dist[u], 1) {
+				continue
+			}
+			if v < 0 || dist[u] < dist[v] {
+				v = u
+			}
+		}
+		if v < 0 {
+			break
+		}
+		settled[v] = true
+		if v == target {
+			break
+		}
+		if v != src {
+			if bannedNodes[v] {
+				continue
+			}
+			if expand != nil && !expand(v) {
+				continue
+			}
+		}
+		for li := range n.Links {
+			l := n.Links[li]
+			var to int32
+			switch v {
+			case l.A:
+				to = l.B
+			case l.B:
+				to = l.A
+			default:
+				continue
+			}
+			if bannedLinks[int32(li)] {
+				continue
+			}
+			w := l.OneWayMs
+			if cost != nil {
+				w = cost(int32(li))
+				if math.IsInf(w, 1) {
+					continue
+				}
+			}
+			if nd := dist[v] + w; nd < dist[to] {
+				dist[to] = nd
+				prev[to] = int32(li)
+			}
+		}
+	}
+	return dist, prev
+}
+
+// randomNet builds a connected random graph with quantized weights (1–4 ms in
+// 0.5 ms steps) so shortest paths tie constantly. Roughly a third of the
+// nodes are ground-side, exercising transit restrictions.
+func randomNet(r *rand.Rand, nodes, extraLinks int) *Network {
+	n := &Network{}
+	for i := 0; i < nodes; i++ {
+		kind := NodeSatellite
+		if r.Intn(3) == 0 {
+			kind = NodeCity
+		}
+		n.AddNode(kind, geo.Vec3{}, "")
+	}
+	addW := func(a, b int32, w float64) {
+		n.Links = append(n.Links, Link{A: a, B: b, Kind: LinkGSL, CapGbps: 1 + r.Float64()*4, OneWayMs: w})
+		n.csrValid.Store(false)
+	}
+	weight := func() float64 { return 1 + 0.5*float64(r.Intn(7)) }
+	// A random spanning tree keeps the graph connected …
+	for v := int32(1); v < int32(nodes); v++ {
+		addW(v, int32(r.Intn(int(v))), weight())
+	}
+	// … plus extra random links (parallel links allowed — the kernel must
+	// handle them, they arise from multi-beam GSLs).
+	for i := 0; i < extraLinks; i++ {
+		a, b := int32(r.Intn(nodes)), int32(r.Intn(nodes))
+		if a == b {
+			continue
+		}
+		addW(a, b, weight())
+	}
+	return n
+}
+
+func randomBans(r *rand.Rand, n *Network, frac float64) map[int32]bool {
+	banned := map[int32]bool{}
+	for li := range n.Links {
+		if r.Float64() < frac {
+			banned[int32(li)] = true
+		}
+	}
+	return banned
+}
+
+func compareAll(t *testing.T, n *Network, dist, wantDist []float64, prev, wantPrev []int32, tag string) {
+	t.Helper()
+	for v := range dist {
+		if dist[v] != wantDist[v] {
+			t.Fatalf("%s: dist[%d] = %v, reference %v", tag, v, dist[v], wantDist[v])
+		}
+		if prev[v] != wantPrev[v] {
+			t.Fatalf("%s: prevLink[%d] = %d, reference %d (dist %v)", tag, v, prev[v], wantPrev[v], dist[v])
+		}
+	}
+}
+
+func TestDifferentialDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNet(r, 30+r.Intn(40), 80)
+		src := int32(r.Intn(n.N()))
+		banned := randomBans(r, n, 0.15)
+
+		dist, prev := n.Dijkstra(src, banned)
+		wantDist, wantPrev := naiveDijkstra(n, src, NoTarget, banned, nil, nil, nil)
+		compareAll(t, n, dist, wantDist, prev, wantPrev, "banned")
+
+		// Same search through a reused state: stamping must fully isolate
+		// consecutive epochs.
+		st := AcquireSearch()
+		for li := range banned {
+			st.BanLink(li)
+		}
+		for rep := 0; rep < 3; rep++ {
+			n.Search(st, SearchSpec{Src: src, Target: NoTarget})
+			gotDist, gotPrev := st.materialize(n.N())
+			compareAll(t, n, gotDist, wantDist, gotPrev, wantPrev, "reused state")
+		}
+		st.Release()
+	}
+}
+
+func TestDifferentialExpand(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNet(r, 40, 90)
+		src := int32(r.Intn(n.N()))
+		expand := func(v int32) bool { return !n.IsGroundSide(v) }
+
+		dist, prev := n.DijkstraExpand(src, nil, expand)
+		wantDist, wantPrev := naiveDijkstra(n, src, NoTarget, nil, nil, expand, nil)
+		compareAll(t, n, dist, wantDist, prev, wantPrev, "sat-transit")
+
+		// The restricted search must agree with ShortestPathSatTransit's
+		// extracted route hop for hop.
+		for dst := int32(0); dst < int32(n.N()); dst++ {
+			p, ok := n.ShortestPathSatTransit(src, dst)
+			wp, wok := n.extractPath(src, dst, wantDist, wantPrev)
+			if ok != wok {
+				t.Fatalf("seed %d: sat-transit %d→%d reachable=%v, reference %v", seed, src, dst, ok, wok)
+			}
+			if ok && !samePath(p, wp) {
+				t.Fatalf("seed %d: sat-transit path %d→%d = %v, reference %v", seed, src, dst, p.Links, wp.Links)
+			}
+		}
+	}
+}
+
+func TestDifferentialNodeBans(t *testing.T) {
+	for seed := int64(200); seed < 215; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNet(r, 35, 70)
+		src := int32(r.Intn(n.N()))
+		bannedNodes := map[int32]bool{}
+		for v := int32(0); v < int32(n.N()); v++ {
+			if v != src && r.Intn(5) == 0 {
+				bannedNodes[v] = true
+			}
+		}
+
+		st := AcquireSearch()
+		for v := range bannedNodes {
+			st.BanNode(v)
+		}
+		n.Search(st, SearchSpec{Src: src, Target: NoTarget})
+		dist, prev := st.materialize(n.N())
+		st.Release()
+
+		wantDist, wantPrev := naiveDijkstra(n, src, NoTarget, nil, bannedNodes, nil, nil)
+		compareAll(t, n, dist, wantDist, prev, wantPrev, "node bans")
+	}
+}
+
+func TestDifferentialKDisjoint(t *testing.T) {
+	for seed := int64(300); seed < 315; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNet(r, 40, 100)
+		src, dst := int32(r.Intn(n.N())), int32(r.Intn(n.N()))
+		if src == dst {
+			continue
+		}
+		got := n.KDisjointPaths(src, dst, 4)
+
+		// Reference: successive naive searches, banning each found path's
+		// links — the exact peeling KDisjointPaths performs.
+		banned := map[int32]bool{}
+		var want []Path
+		for i := 0; i < 4; i++ {
+			wd, wp := naiveDijkstra(n, src, dst, banned, nil, nil, nil)
+			p, ok := n.extractPath(src, dst, wd, wp)
+			if !ok {
+				break
+			}
+			want = append(want, p)
+			for _, li := range p.Links {
+				banned[li] = true
+			}
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: KDisjointPaths found %d paths, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !samePath(got[i], want[i]) {
+				t.Fatalf("seed %d: disjoint path %d = %v, reference %v", seed, i, got[i].Links, want[i].Links)
+			}
+			if got[i].OneWayMs != want[i].OneWayMs {
+				t.Fatalf("seed %d: disjoint path %d delay %v, reference %v", seed, i, got[i].OneWayMs, want[i].OneWayMs)
+			}
+		}
+	}
+}
+
+func TestDifferentialCostHook(t *testing.T) {
+	for seed := int64(400); seed < 412; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNet(r, 35, 80)
+		src := int32(r.Intn(n.N()))
+		load := make([]float64, len(n.Links))
+		for li := range load {
+			load[li] = float64(r.Intn(4))
+		}
+		cost := func(li int32) float64 {
+			l := n.Links[li]
+			if load[li] >= 3 { // saturate some links entirely
+				return math.Inf(1)
+			}
+			u := load[li] / l.CapGbps
+			return l.OneWayMs * (1 + 8*u*u)
+		}
+
+		st := AcquireSearch()
+		n.Search(st, SearchSpec{Src: src, Target: NoTarget, Cost: cost})
+		dist, prev := st.materialize(n.N())
+		wantDist, wantPrev := naiveDijkstra(n, src, NoTarget, nil, nil, nil, cost)
+		compareAll(t, n, dist, wantDist, prev, wantPrev, "cost hook")
+
+		// Under a cost hook, Dist is accumulated cost but extracted paths
+		// must still report true propagation delay.
+		for dst := int32(0); dst < int32(n.N()); dst++ {
+			p, ok := st.Path(dst)
+			if !ok {
+				continue
+			}
+			var delay float64
+			for _, li := range p.Links {
+				delay += n.Links[li].OneWayMs
+			}
+			if math.Abs(p.OneWayMs-delay) > 1e-9 {
+				t.Fatalf("seed %d: cost-hook path to %d reports %v ms, links sum to %v", seed, dst, p.OneWayMs, delay)
+			}
+		}
+		st.Release()
+	}
+}
+
+// TestSearchStatePoolConcurrent hammers pooled SearchState reuse from many
+// goroutines against two different networks at once; run under -race it
+// proves states never leak between workers and stale stamps never bleed
+// across networks of different sizes.
+func TestSearchStatePoolConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	big := randomNet(r, 120, 300)
+	small := randomNet(r, 20, 40)
+	nets := []*Network{big, small}
+
+	type ref struct {
+		dist []float64
+		prev []int32
+	}
+	want := map[*Network][]ref{}
+	for _, n := range nets {
+		for src := int32(0); src < int32(n.N()); src++ {
+			d, p := naiveDijkstra(n, src, NoTarget, nil, nil, nil, nil)
+			want[n] = append(want[n], ref{d, p})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; iter < 50; iter++ {
+				n := nets[r.Intn(len(nets))]
+				src := int32(r.Intn(n.N()))
+				st := AcquireSearch()
+				n.Search(st, SearchSpec{Src: src, Target: NoTarget})
+				d, p := st.materialize(n.N())
+				st.Release()
+				rf := want[n][src]
+				for v := range d {
+					if d[v] != rf.dist[v] || p[v] != rf.prev[v] {
+						t.Errorf("worker %d iter %d: src %d node %d: got (%v,%d) want (%v,%d)",
+							w, iter, src, v, d[v], p[v], rf.dist[v], rf.prev[v])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

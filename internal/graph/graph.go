@@ -5,11 +5,15 @@
 package graph
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"leosim/internal/geo"
+	"leosim/internal/safe"
 )
 
 // NodeKind classifies graph nodes.
@@ -101,7 +105,14 @@ type Network struct {
 	// satellites, then cities, then relays, then aircraft.
 	NumSat, NumCity, NumRelay, NumAircraft int
 
-	adj [][]EdgeRef
+	// CSR adjacency, frozen from Links on first use after any mutation:
+	// node v's edges are adjEdges[adjStart[v]:adjStart[v+1]], laid out
+	// contiguously so the Dijkstra relax loop walks flat memory instead of
+	// chasing per-node slices. adjStart has N()+1 entries.
+	adjStart []int32
+	adjEdges []EdgeRef
+	csrValid atomic.Bool
+	csrMu    sync.Mutex
 }
 
 // SatNode returns the node index of satellite i.
@@ -122,7 +133,7 @@ func (n *Network) AddNode(kind NodeKind, pos geo.Vec3, name string) int32 {
 	n.Kind = append(n.Kind, kind)
 	n.Pos = append(n.Pos, pos)
 	n.Name = append(n.Name, name)
-	n.adj = append(n.adj, nil)
+	n.csrValid.Store(false)
 	return int32(len(n.Kind) - 1)
 }
 
@@ -141,8 +152,7 @@ func (n *Network) AddLink(a, b int32, kind LinkKind, capGbps float64) int32 {
 	l := Link{A: a, B: b, Kind: kind, CapGbps: capGbps, OneWayMs: dist / speed * 1000}
 	idx := int32(len(n.Links))
 	n.Links = append(n.Links, l)
-	n.adj[a] = append(n.adj[a], EdgeRef{To: b, Link: idx})
-	n.adj[b] = append(n.adj[b], EdgeRef{To: a, Link: idx})
+	n.csrValid.Store(false)
 	return idx
 }
 
@@ -159,21 +169,60 @@ func (n *Network) RewriteLinks(fn func(Link) (Link, bool)) {
 		}
 	}
 	n.Links = kept
-	for i := range n.adj {
-		n.adj[i] = n.adj[i][:0]
+	n.csrValid.Store(false)
+}
+
+// ensureCSR freezes the adjacency structure into CSR form if any mutation
+// invalidated it. Safe for concurrent callers: the first one in rebuilds
+// under a lock, everyone else observes the published layout via the atomic
+// flag. Builder.At freezes eagerly so concurrent experiment workers never
+// contend here.
+func (n *Network) ensureCSR() {
+	if n.csrValid.Load() {
+		return
 	}
+	n.csrMu.Lock()
+	defer n.csrMu.Unlock()
+	if n.csrValid.Load() {
+		return
+	}
+	nn := len(n.Kind)
+	start := make([]int32, nn+1)
+	for _, l := range n.Links {
+		start[l.A+1]++
+		start[l.B+1]++
+	}
+	for i := 0; i < nn; i++ {
+		start[i+1] += start[i]
+	}
+	edges := make([]EdgeRef, 2*len(n.Links))
+	next := make([]int32, nn)
+	copy(next, start[:nn])
+	// Iterating Links in index order reproduces the append order the old
+	// per-node slices had, so relaxation order — and with it every
+	// tie-broken predecessor — is unchanged.
 	for li, l := range n.Links {
-		n.adj[l.A] = append(n.adj[l.A], EdgeRef{To: l.B, Link: int32(li)})
-		n.adj[l.B] = append(n.adj[l.B], EdgeRef{To: l.A, Link: int32(li)})
+		edges[next[l.A]] = EdgeRef{To: l.B, Link: int32(li)}
+		next[l.A]++
+		edges[next[l.B]] = EdgeRef{To: l.A, Link: int32(li)}
+		next[l.B]++
 	}
+	n.adjStart, n.adjEdges = start, edges
+	n.csrValid.Store(true)
 }
 
 // Degree returns the number of links at node v.
-func (n *Network) Degree(v int32) int { return len(n.adj[v]) }
+func (n *Network) Degree(v int32) int {
+	n.ensureCSR()
+	return int(n.adjStart[v+1] - n.adjStart[v])
+}
 
 // Edges returns node v's adjacency list. The returned slice is owned by the
-// network and must not be mutated.
-func (n *Network) Edges(v int32) []EdgeRef { return n.adj[v] }
+// network, must not be mutated, and is invalidated by AddLink/RewriteLinks.
+func (n *Network) Edges(v int32) []EdgeRef {
+	n.ensureCSR()
+	return n.adjEdges[n.adjStart[v]:n.adjStart[v+1]]
+}
 
 // Path is a route through the network.
 type Path struct {
@@ -190,30 +239,13 @@ func (p Path) RTTMs() float64 { return 2 * p.OneWayMs }
 // Hops returns the hop count (number of links).
 func (p Path) Hops() int { return len(p.Links) }
 
-// priority queue for Dijkstra.
-type pqItem struct {
-	node int32
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // Dijkstra computes shortest (delay) distances from src to every node.
 // banned, if non-nil, marks link indices to skip. It returns per-node
 // distance in ms (math.Inf(1) if unreachable) and the predecessor link per
 // node (-1 at src/unreachable).
+//
+// This is the allocating convenience wrapper; hot loops should hold a
+// pooled SearchState and call Network.Search directly.
 func (n *Network) Dijkstra(src int32, banned map[int32]bool) (dist []float64, prevLink []int32) {
 	return n.DijkstraExpand(src, banned, nil)
 }
@@ -224,90 +256,33 @@ func (n *Network) Dijkstra(src int32, banned map[int32]bool) (dist []float64, pr
 // path" model forbids ground terminals as intermediate hops, so expand
 // returns false for every ground-side node.
 func (n *Network) DijkstraExpand(src int32, banned map[int32]bool, expand func(int32) bool) (dist []float64, prevLink []int32) {
-	return n.dijkstra(src, -1, banned, expand)
-}
-
-// dijkstra is the shared implementation. When target ≥ 0 the search stops
-// as soon as the target is settled (its distance and predecessor are then
-// final); remaining entries are left at +Inf.
-func (n *Network) dijkstra(src, target int32, banned map[int32]bool, expand func(int32) bool) (dist []float64, prevLink []int32) {
-	nn := n.N()
-	dist = make([]float64, nn)
-	prevLink = make([]int32, nn)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevLink[i] = -1
-	}
-	dist[src] = 0
-	q := pq{{node: src}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.dist > dist[it.node] {
-			continue // stale entry
-		}
-		if it.node == target {
-			break // settled: dist/prevLink for the target are final
-		}
-		if expand != nil && it.node != src && !expand(it.node) {
-			continue
-		}
-		for _, e := range n.adj[it.node] {
-			if banned != nil && banned[e.Link] {
-				continue
-			}
-			nd := it.dist + n.Links[e.Link].OneWayMs
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				prevLink[e.To] = e.Link
-				heap.Push(&q, pqItem{node: e.To, dist: nd})
-			}
+	st := AcquireSearch()
+	defer st.Release()
+	for li, b := range banned {
+		if b {
+			st.BanLink(li)
 		}
 	}
-	return dist, prevLink
+	n.Search(st, SearchSpec{Src: src, Target: NoTarget, Expand: expand})
+	return st.materialize(n.N())
 }
 
-// extractPath walks predecessor links from dst back to src.
+// extractPath walks predecessor links (as returned by Dijkstra) from dst
+// back to src.
 func (n *Network) extractPath(src, dst int32, dist []float64, prevLink []int32) (Path, bool) {
 	if math.IsInf(dist[dst], 1) {
 		return Path{}, false
 	}
-	var nodes []int32
-	var links []int32
-	at := dst
-	for at != src {
-		li := prevLink[at]
-		if li < 0 {
-			return Path{}, false
-		}
-		nodes = append(nodes, at)
-		links = append(links, li)
-		l := n.Links[li]
-		if l.A == at {
-			at = l.B
-		} else {
-			at = l.A
-		}
-		if len(nodes) > n.N() {
-			return Path{}, false // cycle guard; cannot happen with Dijkstra
-		}
-	}
-	nodes = append(nodes, src)
-	reverse32(nodes)
-	reverse32(links)
-	return Path{Nodes: nodes, Links: links, OneWayMs: dist[dst]}, true
-}
-
-func reverse32(s []int32) {
-	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
-		s[i], s[j] = s[j], s[i]
-	}
+	return n.walkPath(src, dst, func(v int32) int32 { return prevLink[v] }, dist[dst])
 }
 
 // ShortestPath returns the minimum-delay path from src to dst, or ok=false
 // if disconnected.
 func (n *Network) ShortestPath(src, dst int32) (Path, bool) {
-	dist, prev := n.dijkstra(src, dst, nil, nil)
-	return n.extractPath(src, dst, dist, prev)
+	st := AcquireSearch()
+	defer st.Release()
+	n.Search(st, SearchSpec{Src: src, Target: dst})
+	return st.Path(dst)
 }
 
 // ShortestPathSatTransit returns the minimum-delay path from src to dst that
@@ -315,10 +290,12 @@ func (n *Network) ShortestPath(src, dst int32) (Path, bool) {
 // the path but never forward traffic. This is the §6 "ISL path" model,
 // which excludes GTs as intermediate hops.
 func (n *Network) ShortestPathSatTransit(src, dst int32) (Path, bool) {
-	dist, prev := n.dijkstra(src, dst, nil, func(v int32) bool {
+	st := AcquireSearch()
+	defer st.Release()
+	n.Search(st, SearchSpec{Src: src, Target: dst, Expand: func(v int32) bool {
 		return !n.IsGroundSide(v)
-	})
-	return n.extractPath(src, dst, dist, prev)
+	}})
+	return st.Path(dst)
 }
 
 // KDisjointPaths returns up to k edge-disjoint minimum-delay paths from src
@@ -326,30 +303,44 @@ func (n *Network) ShortestPathSatTransit(src, dst int32) (Path, bool) {
 // (the scheme §5 routes traffic over). Fewer than k paths are returned when
 // the graph runs out of disjoint routes.
 func (n *Network) KDisjointPaths(src, dst int32, k int) []Path {
+	st := AcquireSearch()
+	defer st.Release()
 	var out []Path
-	banned := make(map[int32]bool)
 	for i := 0; i < k; i++ {
-		dist, prev := n.dijkstra(src, dst, banned, nil)
-		p, ok := n.extractPath(src, dst, dist, prev)
+		n.Search(st, SearchSpec{Src: src, Target: dst})
+		p, ok := st.Path(dst)
 		if !ok {
 			break
 		}
 		out = append(out, p)
 		for _, li := range p.Links {
-			banned[li] = true
+			st.BanLink(li)
 		}
 	}
 	return out
 }
 
-// MultiSourceDistances runs Dijkstra from each source in parallel-friendly
-// sequence and returns dist[i] for sources[i]. Callers parallelize across
-// sources themselves when needed; this helper exists for tests.
+// MultiSourceDistances runs Dijkstra from each source in parallel (bounded
+// by GOMAXPROCS, panic-safe via internal/safe) and returns dist[i] for
+// sources[i].
 func (n *Network) MultiSourceDistances(sources []int32) [][]float64 {
+	n.ensureCSR() // freeze once, before the fan-out
 	out := make([][]float64, len(sources))
-	for i, s := range sources {
-		d, _ := n.Dijkstra(s, nil)
-		out[i] = d
+	g := safe.NewGroup(context.Background(), runtime.GOMAXPROCS(0))
+	for i, src := range sources {
+		i, src := i, src
+		g.Go(func() error {
+			st := AcquireSearch()
+			defer st.Release()
+			n.Search(st, SearchSpec{Src: src, Target: NoTarget})
+			out[i] = st.materializeDist(n.N())
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		// Workers only fail by panicking; re-throw so callers' RecoverTo
+		// (or the test harness) sees the original stack.
+		panic(err)
 	}
 	return out
 }
@@ -357,6 +348,7 @@ func (n *Network) MultiSourceDistances(sources []int32) [][]float64 {
 // Components labels connected components (ignoring capacities) and returns
 // the component ID per node and the component count.
 func (n *Network) Components() (comp []int32, count int) {
+	n.ensureCSR()
 	nn := n.N()
 	comp = make([]int32, nn)
 	for i := range comp {
@@ -374,7 +366,7 @@ func (n *Network) Components() (comp []int32, count int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, e := range n.adj[u] {
+			for _, e := range n.adjEdges[n.adjStart[u]:n.adjStart[u+1]] {
 				if comp[e.To] < 0 {
 					comp[e.To] = id
 					stack = append(stack, e.To)

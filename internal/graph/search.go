@@ -1,0 +1,381 @@
+package graph
+
+import (
+	"math"
+	"sync"
+)
+
+// SearchState is the reusable scratch memory of one shortest-path search:
+// distance/predecessor arrays, the heap's backing storage, and epoch-stamped
+// link/node ban masks. Acquire one with AcquireSearch, run any number of
+// searches on a single network through Network.Search, and Release it when
+// done; the allocation-free inner loop is what lets experiment sweeps run
+// millions of searches without touching the garbage collector.
+//
+// A SearchState is not safe for concurrent use; acquire one per worker. It
+// must be used with one network at a time — AcquireSearch clears ban masks,
+// so reusing a pooled state on a different network is safe after Acquire.
+type SearchState struct {
+	net     *Network
+	src     int32
+	hasCost bool
+
+	// dist/delay/prevLink are valid for node v iff stamp[v] == searchStamp;
+	// stamping replaces the O(n) "fill with +Inf" re-initialization.
+	dist     []float64
+	delay    []float64
+	prevLink []int32
+	stamp    []uint32
+
+	heap []heapEntry
+
+	// linkBan/nodeBan mark a link or node banned iff the entry equals
+	// banStamp. Bans persist across searches (KDisjointPaths accumulates
+	// them) until ClearBans bumps the stamp — no map, no clearing loop.
+	linkBan []uint32
+	nodeBan []uint32
+
+	searchStamp uint32
+	banStamp    uint32
+}
+
+var searchPool = sync.Pool{New: func() interface{} { return &SearchState{} }}
+
+// AcquireSearch returns a pooled SearchState with no bans set.
+func AcquireSearch() *SearchState {
+	st := searchPool.Get().(*SearchState)
+	st.ClearBans()
+	return st
+}
+
+// Release returns the state to the pool. The state must not be used (nor any
+// value read from it) after Release.
+func (st *SearchState) Release() {
+	st.net = nil
+	searchPool.Put(st)
+}
+
+// grow sizes the scratch arrays for a graph with nodes nodes and links
+// links. Freshly grown regions hold zero stamps, which never match the
+// current stamps (always ≥ 1), so grown entries start unreached/unbanned.
+func (st *SearchState) grow(nodes, links int) {
+	if len(st.dist) < nodes {
+		st.dist = append(st.dist, make([]float64, nodes-len(st.dist))...)
+		st.delay = append(st.delay, make([]float64, nodes-len(st.delay))...)
+		st.prevLink = append(st.prevLink, make([]int32, nodes-len(st.prevLink))...)
+		st.stamp = append(st.stamp, make([]uint32, nodes-len(st.stamp))...)
+		st.nodeBan = append(st.nodeBan, make([]uint32, nodes-len(st.nodeBan))...)
+	}
+	if len(st.linkBan) < links {
+		st.linkBan = append(st.linkBan, make([]uint32, links-len(st.linkBan))...)
+	}
+}
+
+// begin starts a new search epoch on network n.
+func (st *SearchState) begin(n *Network, spec SearchSpec) {
+	st.net = n
+	st.src = spec.Src
+	st.hasCost = spec.Cost != nil
+	st.grow(n.N(), len(n.Links))
+	st.searchStamp++
+	if st.searchStamp == 0 { // wrapped: stale stamps could collide
+		for i := range st.stamp {
+			st.stamp[i] = 0
+		}
+		st.searchStamp = 1
+	}
+	st.heap = st.heap[:0]
+}
+
+// ClearBans forgets every banned link and node.
+func (st *SearchState) ClearBans() {
+	st.banStamp++
+	if st.banStamp == 0 { // wrapped: stale stamps could collide
+		for i := range st.linkBan {
+			st.linkBan[i] = 0
+		}
+		for i := range st.nodeBan {
+			st.nodeBan[i] = 0
+		}
+		st.banStamp = 1
+	}
+}
+
+// BanLink excludes link li from subsequent searches (until ClearBans).
+func (st *SearchState) BanLink(li int32) {
+	if int(li) >= len(st.linkBan) {
+		st.linkBan = append(st.linkBan, make([]uint32, int(li)+1-len(st.linkBan))...)
+	}
+	st.linkBan[li] = st.banStamp
+}
+
+// BanNode excludes node v from forwarding in subsequent searches: like a
+// transit restriction, v may still terminate a path but is never expanded.
+func (st *SearchState) BanNode(v int32) {
+	if int(v) >= len(st.nodeBan) {
+		st.nodeBan = append(st.nodeBan, make([]uint32, int(v)+1-len(st.nodeBan))...)
+	}
+	st.nodeBan[v] = st.banStamp
+}
+
+// NodeBanned reports whether v is currently banned from forwarding.
+func (st *SearchState) NodeBanned(v int32) bool {
+	return int(v) < len(st.nodeBan) && st.nodeBan[v] == st.banStamp
+}
+
+// Dist returns the settled distance of node v from the last search's source
+// (+Inf if unreached). Under a Cost hook this is total cost, not delay.
+func (st *SearchState) Dist(v int32) float64 {
+	if st.stamp[v] != st.searchStamp {
+		return math.Inf(1)
+	}
+	return st.dist[v]
+}
+
+// Reached reports whether the last search reached node v.
+func (st *SearchState) Reached(v int32) bool { return st.stamp[v] == st.searchStamp }
+
+// PrevLink returns the predecessor link of node v in the last search (-1 at
+// the source or if unreached).
+func (st *SearchState) PrevLink(v int32) int32 {
+	if st.stamp[v] != st.searchStamp {
+		return -1
+	}
+	return st.prevLink[v]
+}
+
+// Path reconstructs the found route from the last search's source to dst.
+func (st *SearchState) Path(dst int32) (Path, bool) {
+	if st.stamp[dst] != st.searchStamp {
+		return Path{}, false
+	}
+	total := st.dist[dst]
+	if st.hasCost {
+		total = st.delay[dst]
+	}
+	return st.net.walkPath(st.src, dst, func(v int32) int32 {
+		if st.stamp[v] != st.searchStamp {
+			return -1
+		}
+		return st.prevLink[v]
+	}, total)
+}
+
+// materialize copies the search outcome into freshly allocated dist/prevLink
+// slices with the legacy conventions (+Inf / -1 for unreached nodes).
+func (st *SearchState) materialize(nn int) (dist []float64, prevLink []int32) {
+	dist = make([]float64, nn)
+	prevLink = make([]int32, nn)
+	inf := math.Inf(1)
+	for i := 0; i < nn; i++ {
+		if st.stamp[i] == st.searchStamp {
+			dist[i] = st.dist[i]
+			prevLink[i] = st.prevLink[i]
+		} else {
+			dist[i] = inf
+			prevLink[i] = -1
+		}
+	}
+	return dist, prevLink
+}
+
+// materializeDist is materialize without the predecessor copy.
+func (st *SearchState) materializeDist(nn int) []float64 {
+	dist := make([]float64, nn)
+	inf := math.Inf(1)
+	for i := 0; i < nn; i++ {
+		if st.stamp[i] == st.searchStamp {
+			dist[i] = st.dist[i]
+		} else {
+			dist[i] = inf
+		}
+	}
+	return dist
+}
+
+// heapEntry is one pending node in the priority queue. Entries are plain
+// values in a flat slice — no interface boxing, no per-push allocation.
+type heapEntry struct {
+	node int32
+	dist float64
+}
+
+// heapLess orders by (dist, node): the node tie-break makes settle order —
+// and therefore predecessor choice on equal-distance ties — deterministic
+// and identical to a linear-scan reference Dijkstra.
+func heapLess(a, b heapEntry) bool {
+	return a.dist < b.dist || (a.dist == b.dist && a.node < b.node)
+}
+
+// hpush pushes onto the 4-ary implicit heap. Quaternary beats binary here:
+// sift-downs dominate Dijkstra's pop-heavy workload and a 4-ary heap halves
+// their depth at the cost of a few extra comparisons per level, all within
+// one cache line of heapEntry values.
+func (st *SearchState) hpush(e heapEntry) {
+	h := append(st.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !heapLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	st.heap = h
+}
+
+// hpop removes and returns the minimum entry.
+func (st *SearchState) hpop() heapEntry {
+	h := st.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heapLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !heapLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	st.heap = h
+	return top
+}
+
+// SearchSpec parameterizes one run of the unified Dijkstra kernel.
+type SearchSpec struct {
+	// Src is the source node.
+	Src int32
+	// Target stops the search as soon as that node is settled (its distance
+	// and predecessor are then final). Use NoTarget to settle every
+	// reachable node. Note the zero value targets node 0.
+	Target int32
+	// Expand, when non-nil, restricts forwarding: edges are only relaxed
+	// out of nodes for which Expand returns true (the source is always
+	// expanded). This implements transit restrictions — e.g. §6's "pure
+	// ISL path" model forbids ground terminals as intermediate hops.
+	Expand func(int32) bool
+	// Cost, when non-nil, replaces the link weight (default: propagation
+	// delay). Returning +Inf excludes the link. The kernel then tracks
+	// propagation delay separately so extracted paths still report true
+	// OneWayMs; Dist returns accumulated cost.
+	Cost func(int32) float64
+}
+
+// NoTarget makes Search settle every reachable node.
+const NoTarget int32 = -1
+
+// Search runs Dijkstra from spec.Src over the network's CSR adjacency into
+// st, honouring st's link/node bans. It is the single kernel behind every
+// routing entry point: plain and transit-restricted shortest paths, k
+// edge-disjoint paths, Yen's algorithm, and the congestion-aware router.
+// The inner loop performs no allocation and no hashing.
+func (n *Network) Search(st *SearchState, spec SearchSpec) {
+	n.ensureCSR()
+	st.begin(n, spec)
+	st.dist[spec.Src] = 0
+	st.prevLink[spec.Src] = -1
+	if st.hasCost {
+		st.delay[spec.Src] = 0
+	}
+	st.stamp[spec.Src] = st.searchStamp
+	st.hpush(heapEntry{node: spec.Src})
+	for len(st.heap) > 0 {
+		it := st.hpop()
+		if it.dist > st.dist[it.node] {
+			continue // stale entry
+		}
+		if it.node == spec.Target {
+			break // settled: dist/prevLink for the target are final
+		}
+		if it.node != spec.Src {
+			if st.nodeBan[it.node] == st.banStamp {
+				continue
+			}
+			if spec.Expand != nil && !spec.Expand(it.node) {
+				continue
+			}
+		}
+		lo, hi := n.adjStart[it.node], n.adjStart[it.node+1]
+		for _, e := range n.adjEdges[lo:hi] {
+			if st.linkBan[e.Link] == st.banStamp {
+				continue
+			}
+			var w float64
+			if spec.Cost == nil {
+				w = n.Links[e.Link].OneWayMs
+			} else {
+				w = spec.Cost(e.Link)
+				if math.IsInf(w, 1) {
+					continue
+				}
+			}
+			nd := it.dist + w
+			if st.stamp[e.To] == st.searchStamp && nd >= st.dist[e.To] {
+				continue
+			}
+			st.dist[e.To] = nd
+			st.prevLink[e.To] = e.Link
+			st.stamp[e.To] = st.searchStamp
+			if st.hasCost {
+				st.delay[e.To] = st.delay[it.node] + n.Links[e.Link].OneWayMs
+			}
+			st.hpush(heapEntry{node: e.To, dist: nd})
+		}
+	}
+}
+
+// walkPath reconstructs the node/link sequence from dst back to src given a
+// predecessor-link lookup, in one backward pass into exactly-sized slices.
+// It is the one shared back-walk behind every path extraction (including the
+// congestion-aware router's), with a cycle guard in case prevAt is
+// inconsistent.
+func (n *Network) walkPath(src, dst int32, prevAt func(int32) int32, total float64) (Path, bool) {
+	hops := 0
+	for at := dst; at != src; {
+		li := prevAt(at)
+		if li < 0 {
+			return Path{}, false
+		}
+		if l := n.Links[li]; l.A == at {
+			at = l.B
+		} else {
+			at = l.A
+		}
+		hops++
+		if hops > n.N() {
+			return Path{}, false // cycle guard
+		}
+	}
+	nodes := make([]int32, hops+1)
+	links := make([]int32, hops)
+	at := dst
+	for i := hops; i > 0; i-- {
+		li := prevAt(at)
+		nodes[i] = at
+		links[i-1] = li
+		if l := n.Links[li]; l.A == at {
+			at = l.B
+		} else {
+			at = l.A
+		}
+	}
+	nodes[0] = src
+	return Path{Nodes: nodes, Links: links, OneWayMs: total}, true
+}

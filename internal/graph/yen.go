@@ -21,6 +21,8 @@ func (n *Network) KShortestPaths(src, dst int32, k int) []Path {
 	}
 	paths := []Path{first}
 	var candidates candidateHeap
+	st := AcquireSearch()
+	defer st.Release()
 
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
@@ -32,19 +34,18 @@ func (n *Network) KShortestPaths(src, dst int32, k int) []Path {
 
 			// Ban links that would recreate an already-found path
 			// sharing this root, and ban root nodes (except the spur) to
-			// keep paths loopless.
-			banned := map[int32]bool{}
+			// keep paths loopless — all epoch-stamped, no per-spur maps.
+			st.ClearBans()
 			for _, p := range paths {
 				if len(p.Links) > i && equalPrefix(p.Nodes, rootNodes) {
-					banned[p.Links[i]] = true
+					st.BanLink(p.Links[i])
 				}
 			}
-			blockedNodes := map[int32]bool{}
 			for _, v := range rootNodes[:len(rootNodes)-1] {
-				blockedNodes[v] = true
+				st.BanNode(v)
 			}
 
-			spur, ok := n.shortestPathAvoiding(spurNode, dst, banned, blockedNodes)
+			spur, ok := n.spurPath(st, spurNode, dst)
 			if !ok {
 				continue
 			}
@@ -61,15 +62,13 @@ func (n *Network) KShortestPaths(src, dst int32, k int) []Path {
 	return paths
 }
 
-// shortestPathAvoiding is Dijkstra with both banned links and blocked nodes.
-func (n *Network) shortestPathAvoiding(src, dst int32, bannedLinks, blockedNodes map[int32]bool) (Path, bool) {
-	dist, prev := n.dijkstra(src, dst, bannedLinks, func(v int32) bool {
-		return !blockedNodes[v]
-	})
-	if blockedNodes[dst] || math.IsInf(dist[dst], 1) {
+// spurPath is Dijkstra honouring st's banned links and blocked nodes.
+func (n *Network) spurPath(st *SearchState, src, dst int32) (Path, bool) {
+	if st.NodeBanned(dst) {
 		return Path{}, false
 	}
-	return n.extractPath(src, dst, dist, prev)
+	n.Search(st, SearchSpec{Src: src, Target: dst})
+	return st.Path(dst)
 }
 
 func equalPrefix(nodes, prefix []int32) bool {

@@ -77,15 +77,20 @@ func MinMaxUtilization(n *graph.Network, demands []Demand, opts Options) ([]Assi
 	})
 
 	out := make([]Assignment, len(demands))
+	st := graph.AcquireSearch()
+	defer st.Release()
 	for _, di := range order {
 		d := demands[di]
 		if d.K < 1 {
 			return nil, fmt.Errorf("routing: demand %d has K=%d", di, d.K)
 		}
 		asg := Assignment{Demand: d}
-		banned := map[int32]bool{}
+		st.ClearBans()
 		for k := 0; k < d.K; k++ {
-			p, ok := dijkstraCost(n, d.Src, d.Dst, cost, banned)
+			// The shared kernel with the congestion-aware cost hook: Dist
+			// accumulates cost, extracted paths report true delay.
+			n.Search(st, graph.SearchSpec{Src: d.Src, Target: d.Dst, Cost: cost})
+			p, ok := st.Path(d.Dst)
 			if !ok {
 				break
 			}
@@ -93,7 +98,7 @@ func MinMaxUtilization(n *graph.Network, demands []Demand, opts Options) ([]Assi
 			for _, li := range p.Links {
 				load[li] += opts.UnitGbps
 				if opts.DisjointWithinDemand {
-					banned[li] = true
+					st.BanLink(li)
 				}
 			}
 		}
@@ -142,119 +147,3 @@ func MeanPathDelayMs(asgs []Assignment) float64 {
 	return sum / float64(n)
 }
 
-// dijkstraCost is Dijkstra over an arbitrary per-link cost function. It
-// mirrors Network.Dijkstra but cannot share its implementation because the
-// link weight is dynamic.
-func dijkstraCost(n *graph.Network, src, dst int32, cost func(int32) float64,
-	banned map[int32]bool) (graph.Path, bool) {
-
-	nn := n.N()
-	dist := make([]float64, nn)
-	delay := make([]float64, nn)
-	prev := make([]int32, nn)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	q := &costPQ{{node: src}}
-	for len(*q) > 0 {
-		it := popPQ(q)
-		if it.cost > dist[it.node] {
-			continue
-		}
-		if it.node == dst {
-			break
-		}
-		for _, e := range n.Edges(it.node) {
-			if banned[e.Link] {
-				continue
-			}
-			c := cost(e.Link)
-			if math.IsInf(c, 1) {
-				continue
-			}
-			nd := it.cost + c
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				delay[e.To] = delay[it.node] + n.Links[e.Link].OneWayMs
-				prev[e.To] = e.Link
-				pushPQ(q, pqEntry{node: e.To, cost: nd})
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return graph.Path{}, false
-	}
-	// Walk back.
-	var nodes, links []int32
-	at := dst
-	for at != src {
-		li := prev[at]
-		if li < 0 {
-			return graph.Path{}, false
-		}
-		nodes = append(nodes, at)
-		links = append(links, li)
-		l := n.Links[li]
-		if l.A == at {
-			at = l.B
-		} else {
-			at = l.A
-		}
-	}
-	nodes = append(nodes, src)
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
-	}
-	return graph.Path{Nodes: nodes, Links: links, OneWayMs: delay[dst]}, true
-}
-
-type pqEntry struct {
-	node int32
-	cost float64
-}
-
-type costPQ []pqEntry
-
-func (q costPQ) less(i, j int) bool { return q[i].cost < q[j].cost }
-
-func pushPQ(q *costPQ, e pqEntry) {
-	*q = append(*q, e)
-	i := len(*q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !(*q).less(i, parent) {
-			break
-		}
-		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
-		i = parent
-	}
-}
-
-func popPQ(q *costPQ) pqEntry {
-	top := (*q)[0]
-	n := len(*q) - 1
-	(*q)[0] = (*q)[n]
-	*q = (*q)[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && (*q).less(l, small) {
-			small = l
-		}
-		if r < n && (*q).less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
-		i = small
-	}
-	return top
-}

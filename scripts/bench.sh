@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run the routing-kernel benchmarks and record them in BENCH_routing.json.
+#
+# usage: scripts/bench.sh [label]
+#
+# The label names the run inside the trajectory file (default "current");
+# rerunning with the same label replaces that run in place, so the file keeps
+# one entry per milestone. The recorded set covers the routing hot path:
+# Dijkstra, ShortestPath, KDisjointPaths, Yen, MinMaxUtilization, and the
+# end-to-end Fig 2a sweep that exercises it all.
+set -eu
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-current}"
+PATTERN='^(BenchmarkDijkstra|BenchmarkShortestPath|BenchmarkKDisjoint|BenchmarkYen|BenchmarkMinMaxUtilization|BenchmarkFig2aMinRTT)$'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
+	. ./internal/graph ./internal/routing |
+	go run ./scripts/benchjson -label "$LABEL" -out BENCH_routing.json

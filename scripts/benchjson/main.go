@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a run
+// entry in a benchmark-trajectory JSON file. Each run is labelled; rerunning
+// with an existing label replaces that run in place, so the file accumulates
+// one entry per milestone (e.g. "pre-kernel", "csr-pooled-kernel") and stays
+// diffable.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -label after -out BENCH_routing.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Benchmark is one benchmark's metrics from a -benchmem run.
+type Benchmark struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Run is one labelled benchmark sweep.
+type Run struct {
+	Label      string               `json:"label"`
+	GoVersion  string               `json:"go_version,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// File is the trajectory document.
+type File struct {
+	Unit string `json:"unit"`
+	Runs []Run  `json:"runs"`
+}
+
+// benchLine matches e.g.
+// BenchmarkDijkstra-8   	 100	  11800932 ns/op	  263120 B/op	      22 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "", "label for this run (required)")
+	out := flag.String("out", "BENCH_routing.json", "trajectory file to update")
+	filter := flag.String("filter", "", "regexp; keep only matching benchmark names (default: all)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+	var keep *regexp.Regexp
+	if *filter != "" {
+		keep = regexp.MustCompile(*filter)
+	}
+
+	run := Run{Label: *label, Benchmarks: map[string]Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if keep != nil && !keep.MatchString(name) {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Benchmark{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	run.GoVersion = runtime.Version()
+
+	var doc File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	doc.Unit = "ns/op, B/op, allocs/op"
+	replaced := false
+	for i := range doc.Runs {
+		if doc.Runs[i].Label == run.Label {
+			doc.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Runs = append(doc.Runs, run)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(run.Benchmarks))
+	for n := range run.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks under %q in %s\n",
+		len(names), run.Label, *out)
+}
