@@ -13,10 +13,12 @@
 //	leosim fig11            Paris fiber augmentation (§8)
 //	leosim resilience       fault-injection degradation sweep (-fault scenario)
 //	leosim all              everything above
+//	leosim serve            HTTP query service over one sim (see -h for flags)
 //
 // Scale is selected with -scale tiny|reduced|large|full; "full" reproduces the
 // paper's sizing (1,000 cities, 5,000 pairs, 0.5° relay grid, 96 snapshots)
 // and needs minutes to hours of CPU depending on the experiment.
+// `leosim -version` prints the build identity (also served from /healthz).
 //
 // Ctrl-C (or SIGTERM) cancels the run cooperatively: experiments stop within
 // about one snapshot's work, and the ones that aggregate across snapshots
@@ -39,6 +41,7 @@ import (
 	"leosim"
 	"leosim/internal/constellation"
 	"leosim/internal/ground"
+	"leosim/internal/version"
 )
 
 func main() {
@@ -50,8 +53,43 @@ func main() {
 	}
 }
 
+// scaleByName resolves -scale values; serve shares it with the experiments.
+func scaleByName(name string) (leosim.Scale, error) {
+	switch name {
+	case "tiny":
+		return leosim.TinyScale(), nil
+	case "reduced":
+		return leosim.ReducedScale(), nil
+	case "large":
+		return leosim.LargeScale(), nil
+	case "full":
+		return leosim.FullScale(), nil
+	default:
+		return leosim.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+// constellationByName resolves -constellation values.
+func constellationByName(name string) (leosim.ConstellationChoice, error) {
+	switch name {
+	case "starlink":
+		return leosim.Starlink, nil
+	case "kuiper":
+		return leosim.Kuiper, nil
+	default:
+		return 0, fmt.Errorf("unknown constellation %q", name)
+	}
+}
+
 func run(ctx context.Context, args []string) error {
+	// serve is a subcommand with its own flag set (server knobs differ from
+	// experiment knobs), dispatched before experiment flag parsing.
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(ctx, args[1:])
+	}
+
 	fs := flag.NewFlagSet("leosim", flag.ContinueOnError)
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	scaleName := fs.String("scale", "reduced", "experiment scale: tiny|reduced|large|full")
 	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
 	cdfPoints := fs.Int("cdf-points", 20, "points per printed CDF series (0 = none)")
@@ -65,11 +103,15 @@ func run(ctx context.Context, args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.Get())
+		return nil
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -77,18 +119,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	cmd := strings.ToLower(fs.Arg(0))
 
-	var scale leosim.Scale
-	switch *scaleName {
-	case "tiny":
-		scale = leosim.TinyScale()
-	case "reduced":
-		scale = leosim.ReducedScale()
-	case "large":
-		scale = leosim.LargeScale()
-	case "full":
-		scale = leosim.FullScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
 	}
 	if *seed != 0 {
 		scale.Seed = *seed
@@ -102,14 +135,9 @@ func run(ctx context.Context, args []string) error {
 	if *snapshots > 0 {
 		scale.NumSnapshots = *snapshots
 	}
-	var choice leosim.ConstellationChoice
-	switch *constName {
-	case "starlink":
-		choice = leosim.Starlink
-	case "kuiper":
-		choice = leosim.Kuiper
-	default:
-		return fmt.Errorf("unknown constellation %q", *constName)
+	choice, err := constellationByName(*constName)
+	if err != nil {
+		return err
 	}
 
 	if *verbose {

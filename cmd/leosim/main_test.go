@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The CLI plumbing: flag parsing, scale/constellation resolution, and the
@@ -70,5 +71,47 @@ func TestRunCancelled(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), context.Canceled.Error()) {
 		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+}
+
+// `leosim -version` prints the build identity and exits successfully
+// without requiring an experiment.
+func TestRunVersion(t *testing.T) {
+	if err := run(context.Background(), []string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The serve subcommand must come up, then drain cleanly when the run
+// context is cancelled — the CLI face of the server lifecycle tests.
+func TestRunServeDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-scale", "tiny", "-snapshots", "1"})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after cancel: %v, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not drain after cancel")
+	}
+}
+
+func TestRunServeErrors(t *testing.T) {
+	cases := [][]string{
+		{"serve", "extra"},                  // positional args
+		{"serve", "-scale", "huge"},         // unknown scale
+		{"serve", "-constellation", "iris"}, // unknown constellation
+		{"serve", "-addr", "256.0.0.1:bad"}, // unlistenable address
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
 	}
 }

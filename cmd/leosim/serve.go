@@ -1,0 +1,81 @@
+// The serve subcommand runs the constellation query service: one sim, built
+// once at startup, answering concurrent path/latency/reachability queries
+// over HTTP until SIGINT/SIGTERM, then draining gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"leosim"
+	"leosim/internal/server"
+	"leosim/internal/version"
+)
+
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("leosim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	scaleName := fs.String("scale", "reduced", "simulation scale: tiny|reduced|large|full")
+	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
+	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
+	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
+	cacheSize := fs.Int("cache-size", 0, "snapshot cache capacity in graphs (0 = snapshots+4)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "snapshot cache entry TTL (0 = never expire)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent query cap, excess sheds 429 (0 = 2×GOMAXPROCS)")
+	reqTimeout := fs.Duration("req-timeout", 15*time.Second, "per-query deadline")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound after SIGTERM")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz /metrics\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	if *snapshots > 0 {
+		scale.NumSnapshots = *snapshots
+	}
+	if *cities > 0 {
+		scale.NumCities = *cities
+	}
+	choice, err := constellationByName(*constName)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	sim, err := leosim.NewSim(choice, scale)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Sim:            sim,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s\nserving %s on http://%s (built in %v)\n",
+		version.Get(), sim, ln.Addr(), time.Since(start).Round(time.Millisecond))
+	return srv.Serve(ctx, ln)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"leosim/internal/geo"
+	"leosim/internal/graph"
+)
+
+// The network cache predates the serving subsystem and was only ever hit by
+// one experiment goroutine at a time. The concurrency audit found that
+// NetworkAt read s.builders[mode] without holding the lock WithISLCapacity
+// writes it under — a data race once queries run concurrently with capacity
+// sweeps. The cache now routes every builder access through builderFor and
+// every snapshot build through the singleflight snapcache; this test hits
+// both paths from many goroutines and relies on -race to flag regressions.
+func TestNetworkCacheConcurrentAccess(t *testing.T) {
+	scale := TinyScale()
+	scale.NumSnapshots = 2
+	s, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []time.Time{geo.Epoch, geo.Epoch.Add(time.Hour)}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				mode := BP
+				if (w+i)%2 == 0 {
+					mode = Hybrid
+				}
+				n := s.NetworkAt(times[i%len(times)], mode)
+				if n == nil || n.N() == 0 {
+					t.Error("NetworkAt returned an unusable network")
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent builder swaps: the access pattern that raced before.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := s.WithISLCapacity(float64(1 + i%3)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// Concurrent NetworkAt calls for one (time, mode) key must share a single
+// build: the serving acceptance criterion, asserted at the sim layer.
+func TestNetworkAtSingleBuildUnderConcurrency(t *testing.T) {
+	scale := TinyScale()
+	scale.NumSnapshots = 1
+	s, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.NetworkCacheStats().Builds
+
+	const N = 100
+	nets := make([]interface{}, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nets[i] = s.NetworkAt(geo.Epoch, BP)
+		}()
+	}
+	wg.Wait()
+	if got := s.NetworkCacheStats().Builds - base; got != 1 {
+		t.Fatalf("%d concurrent NetworkAt calls ran %d builds, want 1", N, got)
+	}
+	for i := 1; i < N; i++ {
+		if nets[i] != nets[0] {
+			t.Fatalf("caller %d got a different network instance", i)
+		}
+	}
+}
+
+// A builder swap mid-build must not let the stale network re-enter the
+// cache: after WithISLCapacity, a fresh NetworkAt reflects the new builder.
+func TestWithISLCapacityInvalidatesConcurrentBuilds(t *testing.T) {
+	scale := TinyScale()
+	scale.NumSnapshots = 1
+	s, err := NewSim(Starlink, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.NetworkAt(geo.Epoch, Hybrid)
+		}()
+	}
+	if err := s.WithISLCapacity(7); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	n := s.NetworkAt(geo.Epoch, Hybrid)
+	for _, l := range n.Links {
+		if l.Kind == graph.LinkISL && l.CapGbps != 7 {
+			t.Fatalf("post-swap network has ISL capacity %v, want 7", l.CapGbps)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"leosim/internal/fault"
+	"leosim/internal/graph"
+	"leosim/internal/safe"
+)
+
+// This file is the snapshot-granular evaluation surface: where the Run*
+// experiments sweep a whole simulated day, these entry points answer one
+// question about one snapshot, under an optional fault mask, with the
+// caller's context propagated all the way into the routing kernel. The
+// serving subsystem (internal/server) is built entirely on them.
+
+// FindCity returns the pair-sampling index of the named city, or ok=false
+// if it is outside the sim's city set.
+func (s *Sim) FindCity(name string) (int, bool) {
+	for i, c := range s.Cities {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CityName returns the name of city i.
+func (s *Sim) CityName(i int) string { return s.Cities[i].Name }
+
+// NumCities returns the number of traffic cities in the sim.
+func (s *Sim) NumCities() int { return len(s.Cities) }
+
+// BuildNetworkAt builds a fresh snapshot network for mode at time t, with
+// an optional fault mask applied — the uncached, side-effect-free build the
+// serving cache (internal/snapcache) wraps. Unlike NetworkAt it never
+// touches the sim's own snapshot cache, so callers own the returned network
+// exclusively and may key it however they like. Cancellation is honoured at
+// the build boundary.
+func (s *Sim) BuildNetworkAt(ctx context.Context, t time.Time, mode Mode, outages *fault.Outages) (n *graph.Network, err error) {
+	defer safe.RecoverTo(&err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if mode != BP && mode != Hybrid {
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
+	b, err := s.builderWith(mode, func(o *graph.BuildOptions) {
+		if outages != nil {
+			o.Mask = outages.Mask
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.At(t), nil
+}
+
+// PathQuery is the answer to one pair × snapshot path question.
+type PathQuery struct {
+	// Reachable is false when the pair is disconnected at this snapshot;
+	// the remaining fields are then zero.
+	Reachable bool    `json:"reachable"`
+	RTTMs     float64 `json:"rttMs"`
+	OneWayMs  float64 `json:"oneWayMs"`
+	Hops      int     `json:"hops"`
+	// Route lists the node names along the path, source to destination.
+	Route []string `json:"route,omitempty"`
+	// AircraftHops/RelayHops/CityHops count intermediate relays by kind.
+	AircraftHops int `json:"aircraftHops"`
+	RelayHops    int `json:"relayHops"`
+	CityHops     int `json:"cityHops"`
+}
+
+// PathAt routes city src → city dst over snapshot network n. The context
+// reaches the Dijkstra kernel itself (polled between settle batches), so a
+// cancelled request abandons even a single in-flight search.
+func (s *Sim) PathAt(ctx context.Context, n *graph.Network, src, dst int) (*PathQuery, error) {
+	if src < 0 || src >= len(s.Cities) || dst < 0 || dst >= len(s.Cities) {
+		return nil, fmt.Errorf("core: city index out of range (%d, %d of %d)", src, dst, len(s.Cities))
+	}
+	st := graph.AcquireSearch()
+	defer st.Release()
+	spec := graph.SearchSpec{
+		Src:    n.CityNode(src),
+		Target: n.CityNode(dst),
+		Stop:   func() bool { return ctx.Err() != nil },
+	}
+	if !n.Search(st, spec) {
+		return nil, ctx.Err()
+	}
+	p, ok := st.Path(n.CityNode(dst))
+	if !ok {
+		return &PathQuery{}, nil
+	}
+	q := &PathQuery{
+		Reachable: true,
+		RTTMs:     p.RTTMs(),
+		OneWayMs:  p.OneWayMs,
+		Hops:      p.Hops(),
+		Route:     make([]string, 0, len(p.Nodes)),
+	}
+	for i, node := range p.Nodes {
+		q.Route = append(q.Route, n.Name[node])
+		if i == 0 || i == len(p.Nodes)-1 {
+			continue
+		}
+		switch n.Kind[node] {
+		case graph.NodeAircraft:
+			q.AircraftHops++
+		case graph.NodeRelay:
+			q.RelayHops++
+		case graph.NodeCity:
+			q.CityHops++
+		}
+	}
+	return q, nil
+}
+
+// ReachabilityQuery summarizes one snapshot's connectivity.
+type ReachabilityQuery struct {
+	// Components counts connected components of the whole graph.
+	Components int `json:"components"`
+	// StrandedSats counts satellites outside the main (city-bearing)
+	// component — useless for networking at this snapshot; StrandedFrac is
+	// the fraction of the fleet.
+	StrandedSats int     `json:"strandedSats"`
+	StrandedFrac float64 `json:"strandedFrac"`
+	// ReachableCities counts cities reachable from the source city
+	// (including itself); it is TotalCities when Src was not given (< 0).
+	ReachableCities int `json:"reachableCities"`
+	TotalCities     int `json:"totalCities"`
+}
+
+// ReachabilityAt summarizes snapshot network n: component structure,
+// stranded satellites, and — when src ≥ 0 — how many cities that source can
+// reach. Cancellation reaches the kernel as in PathAt.
+func (s *Sim) ReachabilityAt(ctx context.Context, n *graph.Network, src int) (*ReachabilityQuery, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	comp, count := n.Components()
+	q := &ReachabilityQuery{Components: count, TotalCities: len(s.Cities)}
+
+	// The main component is the one holding the most cities.
+	cityCount := map[int32]int{}
+	for i := 0; i < n.NumCity; i++ {
+		cityCount[comp[n.CityNode(i)]]++
+	}
+	main, best := int32(-1), -1
+	for c, cnt := range cityCount {
+		if cnt > best {
+			best, main = cnt, c
+		}
+	}
+	for i := 0; i < n.NumSat; i++ {
+		if comp[i] != main {
+			q.StrandedSats++
+		}
+	}
+	if n.NumSat > 0 {
+		q.StrandedFrac = float64(q.StrandedSats) / float64(n.NumSat)
+	}
+
+	if src < 0 {
+		q.ReachableCities = q.TotalCities
+		return q, nil
+	}
+	if src >= len(s.Cities) {
+		return nil, fmt.Errorf("core: city index %d out of range (%d cities)", src, len(s.Cities))
+	}
+	st := graph.AcquireSearch()
+	defer st.Release()
+	done := n.Search(st, graph.SearchSpec{
+		Src:    n.CityNode(src),
+		Target: graph.NoTarget,
+		Stop:   func() bool { return ctx.Err() != nil },
+	})
+	if !done {
+		return nil, ctx.Err()
+	}
+	for i := 0; i < len(s.Cities); i++ {
+		if st.Reached(n.CityNode(i)) {
+			q.ReachableCities++
+		}
+	}
+	return q, nil
+}

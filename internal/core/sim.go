@@ -13,6 +13,7 @@ import (
 	"leosim/internal/graph"
 	"leosim/internal/ground"
 	"leosim/internal/safe"
+	"leosim/internal/snapcache"
 )
 
 // Sim owns the simulation state for one constellation at one scale: the
@@ -41,21 +42,17 @@ type Sim struct {
 	// with.
 	baseOpts graph.BuildOptions
 
+	// mu guards builders: WithISLCapacity swaps the Hybrid builder while
+	// concurrent NetworkAt calls read the map, so every access goes through
+	// builderFor / the swap below. (Reading the map without mu was the
+	// unsynchronized access the serving work flushed out.)
+	mu       sync.Mutex
 	builders map[Mode]*graph.Builder
 
-	mu    sync.Mutex
-	cache map[cacheKey]*cacheEntry
-	tick  int64 // access counter driving LRU eviction
-}
-
-type cacheKey struct {
-	t    time.Time
-	mode Mode
-}
-
-type cacheEntry struct {
-	n       *graph.Network
-	lastUse int64
+	// snap caches built snapshot networks, one per (mode, time).
+	// snapcache's singleflight means concurrent NetworkAt calls for the
+	// same snapshot — the serving workload — build it exactly once.
+	snap *snapcache.Cache
 }
 
 // networkCacheSize bounds how many snapshot networks a Sim keeps alive.
@@ -161,7 +158,6 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		Pairs:      pairs,
 		baseOpts:   baseOpts,
 		builders:   map[Mode]*graph.Builder{},
-		cache:      map[cacheKey]*cacheEntry{},
 	}
 	for _, mode := range []Mode{BP, Hybrid} {
 		b, err := s.builderWith(mode, nil)
@@ -170,7 +166,22 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		}
 		s.builders[mode] = b
 	}
+	s.snap = snapcache.New(func(_ context.Context, key snapcache.Key) (*graph.Network, error) {
+		mode := BP
+		if key.Scenario == Hybrid.String() {
+			mode = Hybrid
+		}
+		return s.builderFor(mode).At(key.Time), nil
+	}, snapcache.Options{Capacity: networkCacheSize})
 	return s, nil
+}
+
+// builderFor reads the current builder for mode under the lock, so a
+// concurrent WithISLCapacity swap is never observed half-written.
+func (s *Sim) builderFor(mode Mode) *graph.Builder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builders[mode]
 }
 
 // builderWith constructs a builder for mode from the sim's base options,
@@ -196,48 +207,33 @@ func (s *Sim) SnapshotTimes() []time.Time {
 }
 
 // NetworkAt returns the (cached) network snapshot for mode at time t.
+// Concurrent callers asking for the same snapshot share one build.
 func (s *Sim) NetworkAt(t time.Time, mode Mode) *graph.Network {
-	key := cacheKey{t: t, mode: mode}
-	s.mu.Lock()
-	if e, ok := s.cache[key]; ok {
-		s.tick++
-		e.lastUse = s.tick
-		s.mu.Unlock()
-		return e.n
+	n, err := s.snap.Get(context.Background(), snapcache.Key{
+		Scenario: mode.String(),
+		Time:     t,
+	})
+	if err != nil {
+		// The build function cannot fail and the context never cancels,
+		// so the only way here is a builder panic the cache converted to
+		// an error; re-throw it for the experiment's safe.RecoverTo.
+		panic(err)
 	}
-	s.mu.Unlock()
-	n := s.builders[mode].At(t)
-	s.mu.Lock()
-	// Bounded LRU: evict the least-recently-used entry instead of wiping
-	// the cache, so experiments that interleave BP and Hybrid lookups of
-	// the same snapshot never rebuild what they just used.
-	if len(s.cache) >= networkCacheSize {
-		var victim cacheKey
-		oldest := int64(-1)
-		for k, e := range s.cache {
-			if oldest < 0 || e.lastUse < oldest {
-				victim, oldest = k, e.lastUse
-			}
-		}
-		delete(s.cache, victim)
-	}
-	s.tick++
-	s.cache[key] = &cacheEntry{n: n, lastUse: s.tick}
-	s.mu.Unlock()
 	return n
 }
 
-// cachedNetworks reports how many snapshots are currently cached (tests).
-func (s *Sim) cachedNetworks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.cache)
-}
+// NetworkCacheStats snapshots the sim's network-cache counters (hits,
+// misses, builds, evictions) — observability for the serving layer and the
+// concurrency tests.
+func (s *Sim) NetworkCacheStats() snapcache.Stats { return s.snap.Stats() }
 
-// dropCaches empties the snapshot cache after a builder swap.
-func (s *Sim) dropCaches() {
-	s.cache = map[cacheKey]*cacheEntry{}
-}
+// cachedNetworks reports how many snapshots are currently cached (tests).
+func (s *Sim) cachedNetworks() int { return s.snap.Len() }
+
+// dropCaches empties the snapshot cache after a builder swap. In-flight
+// builds against the old builder complete for their waiters but are not
+// re-inserted (snapcache's generation guard).
+func (s *Sim) dropCaches() { s.snap.Purge() }
 
 // WithISLCapacity rebuilds the Hybrid builder with a different ISL capacity
 // (Fig 5), preserving every other option the sim was created with (GSO

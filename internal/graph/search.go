@@ -276,7 +276,19 @@ type SearchSpec struct {
 	// propagation delay separately so extracted paths still report true
 	// OneWayMs; Dist returns accumulated cost.
 	Cost func(int32) float64
+	// Stop, when non-nil, is polled every stopPollInterval settled nodes
+	// (and once before the first); returning true abandons the search,
+	// making Search return false. This is how request-context cancellation
+	// reaches the kernel: servers set Stop to poll ctx.Err. An abandoned
+	// search leaves the state partially settled — treat its results as
+	// invalid.
+	Stop func() bool
 }
+
+// stopPollInterval spaces SearchSpec.Stop polls: frequent enough that a
+// cancelled request dies within microseconds, rare enough that the hot
+// relax loop never notices the check.
+const stopPollInterval = 1024
 
 // NoTarget makes Search settle every reachable node.
 const NoTarget int32 = -1
@@ -286,7 +298,10 @@ const NoTarget int32 = -1
 // routing entry point: plain and transit-restricted shortest paths, k
 // edge-disjoint paths, Yen's algorithm, and the congestion-aware router.
 // The inner loop performs no allocation and no hashing.
-func (n *Network) Search(st *SearchState, spec SearchSpec) {
+//
+// Search reports whether it ran to completion: false means spec.Stop
+// abandoned it and st holds partial, unusable results.
+func (n *Network) Search(st *SearchState, spec SearchSpec) bool {
 	n.ensureCSR()
 	st.begin(n, spec)
 	st.dist[spec.Src] = 0
@@ -296,7 +311,12 @@ func (n *Network) Search(st *SearchState, spec SearchSpec) {
 	}
 	st.stamp[spec.Src] = st.searchStamp
 	st.hpush(heapEntry{node: spec.Src})
+	pops := 0
 	for len(st.heap) > 0 {
+		if spec.Stop != nil && pops%stopPollInterval == 0 && spec.Stop() {
+			return false
+		}
+		pops++
 		it := st.hpop()
 		if it.dist > st.dist[it.node] {
 			continue // stale entry
@@ -339,6 +359,7 @@ func (n *Network) Search(st *SearchState, spec SearchSpec) {
 			st.hpush(heapEntry{node: e.To, dist: nd})
 		}
 	}
+	return true
 }
 
 // walkPath reconstructs the node/link sequence from dst back to src given a

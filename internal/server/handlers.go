@@ -1,0 +1,492 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"leosim/internal/core"
+	"leosim/internal/fault"
+	"leosim/internal/graph"
+	"leosim/internal/snapcache"
+	"leosim/internal/version"
+)
+
+// statusClientClosedRequest is nginx's convention for "the client went away
+// before we could answer" — there is no standard HTTP code for it.
+const statusClientClosedRequest = 499
+
+// testHookLatencySnapshot, when non-nil, runs between snapshots of a
+// /v1/latency scan. Lifecycle tests park requests here to hold them
+// in-flight deterministically (drain, shedding, cancellation).
+var testHookLatencySnapshot func()
+
+// ---- cache key plumbing -------------------------------------------------
+
+// cacheKey assembles the snapshot-cache key. Scenario namespaces by
+// constellation/scale/mode so one cache could in principle front several
+// sims; Mask is the fault fingerprint ("" = healthy).
+func (s *Server) cacheKey(t time.Time, mode core.Mode, mask string) snapcache.Key {
+	return snapcache.Key{
+		Scenario: s.scenario + "/" + mode.String(),
+		Time:     t,
+		Mask:     mask,
+	}
+}
+
+// buildSnapshot is the cache's BuildFunc: it re-derives mode and fault mask
+// from the key and runs a fresh side-effect-free build. Keeping the key →
+// build mapping pure is what makes cached snapshots trustworthy: two
+// requests that agree on the key are guaranteed the same network.
+func (s *Server) buildSnapshot(ctx context.Context, key snapcache.Key) (*graph.Network, error) {
+	mode := core.BP
+	if strings.HasSuffix(key.Scenario, "/"+core.Hybrid.String()) {
+		mode = core.Hybrid
+	}
+	outages, err := s.realizeMask(key.Mask)
+	if err != nil {
+		return nil, err
+	}
+	return s.cfg.Sim.BuildNetworkAt(ctx, key.Time, mode, outages)
+}
+
+// realizeMask turns a fault fingerprint "scenario:fraction:seed" back into
+// concrete outages. Realization is deterministic (seeded), so the
+// fingerprint alone is a complete description of the failure set.
+func (s *Server) realizeMask(mask string) (*fault.Outages, error) {
+	if mask == "" {
+		return nil, nil
+	}
+	parts := strings.Split(mask, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("server: malformed fault mask %q", mask)
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("server: fault mask fraction: %w", err)
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("server: fault mask seed: %w", err)
+	}
+	plan, err := fault.ForScenario(fault.Scenario(parts[0]), frac, seed)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Realize(s.cfg.Sim.Const, len(s.cfg.Sim.Seg.Terminals))
+}
+
+// ---- request parsing ----------------------------------------------------
+
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+// parseMode reads ?mode=bp|hybrid (default bp).
+func parseMode(r *http.Request) (core.Mode, error) {
+	switch r.URL.Query().Get("mode") {
+	case "", core.BP.String():
+		return core.BP, nil
+	case core.Hybrid.String():
+		return core.Hybrid, nil
+	default:
+		return 0, badRequest("mode must be %q or %q", core.BP, core.Hybrid)
+	}
+}
+
+// parseTime resolves the requested snapshot instant: ?snap=<index> picks
+// from the sim's schedule, ?t= accepts RFC3339 or a duration offset from
+// the simulation epoch ("90m"); default is the first snapshot.
+func (s *Server) parseTime(r *http.Request) (time.Time, error) {
+	q := r.URL.Query()
+	if snap := q.Get("snap"); snap != "" {
+		i, err := strconv.Atoi(snap)
+		if err != nil || i < 0 || i >= len(s.times) {
+			return time.Time{}, badRequest("snap must be an index in [0,%d)", len(s.times))
+		}
+		return s.times[i], nil
+	}
+	ts := q.Get("t")
+	if ts == "" {
+		return s.times[0], nil
+	}
+	if t, err := time.Parse(time.RFC3339, ts); err == nil {
+		return t.UTC(), nil
+	}
+	if d, err := time.ParseDuration(ts); err == nil && d >= 0 {
+		return s.times[0].Add(d), nil
+	}
+	return time.Time{}, badRequest("t must be RFC3339 or a non-negative duration offset like 90m")
+}
+
+// parseMask reads the fault triple ?fault=sat|plane|site|isl|gslcap,
+// ?fraction=, ?fault-seed= into a canonical fingerprint ("" = no fault).
+func parseMask(r *http.Request) (string, error) {
+	q := r.URL.Query()
+	sc := q.Get("fault")
+	if sc == "" {
+		if q.Get("fraction") != "" || q.Get("fault-seed") != "" {
+			return "", badRequest("fraction/fault-seed require fault=<scenario>")
+		}
+		return "", nil
+	}
+	if !fault.Scenario(sc).Valid() {
+		return "", badRequest("fault must be one of %v", fault.Scenarios())
+	}
+	frac := 0.1
+	if fs := q.Get("fraction"); fs != "" {
+		f, err := strconv.ParseFloat(fs, 64)
+		if err != nil || f < 0 || f > 1 {
+			return "", badRequest("fraction must be a number in [0,1]")
+		}
+		frac = f
+	}
+	seed := int64(1)
+	if ss := q.Get("fault-seed"); ss != "" {
+		n, err := strconv.ParseInt(ss, 10, 64)
+		if err != nil {
+			return "", badRequest("fault-seed must be an integer")
+		}
+		seed = n
+	}
+	return fmt.Sprintf("%s:%g:%d", sc, frac, seed), nil
+}
+
+// parseCity resolves a required city-name parameter to its index.
+func (s *Server) parseCity(r *http.Request, param string) (int, error) {
+	name := r.URL.Query().Get(param)
+	if name == "" {
+		return 0, badRequest("%s=<city name> is required", param)
+	}
+	idx, ok := s.cfg.Sim.FindCity(name)
+	if !ok {
+		return 0, &notFoundError{msg: fmt.Sprintf("unknown city %q", name)}
+	}
+	return idx, nil
+}
+
+// ---- responses ----------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone — nothing left to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// fail maps an error to its status code and counts it. The ladder mirrors
+// the failure modes the admission pipeline produces: client-side parse
+// errors, unknown cities, a cancelled client, an expired deadline, and —
+// only then — a genuine server fault.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var br *badRequestError
+	var nf *notFoundError
+	switch {
+	case errors.As(err, &br):
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, br.msg)
+	case errors.As(err, &nf):
+		s.notFound.Add(1)
+		writeError(w, http.StatusNotFound, nf.msg)
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		writeError(w, statusClientClosedRequest, "request cancelled by client")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	default:
+		s.internalErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// ---- endpoints ----------------------------------------------------------
+
+type pathResponse struct {
+	Time  time.Time       `json:"time"`
+	Mode  string          `json:"mode"`
+	Src   string          `json:"src"`
+	Dst   string          `json:"dst"`
+	Fault string          `json:"fault,omitempty"`
+	Path  *core.PathQuery `json:"path"`
+}
+
+// handlePath answers GET /v1/path?src=&dst=[&snap=|&t=][&mode=][&fault=...]:
+// the route, RTT and hop breakdown for one city pair at one snapshot.
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	src, err := s.parseCity(r, "src")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	dst, err := s.parseCity(r, "dst")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mode, err := parseMode(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	t, err := s.parseTime(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mask, err := parseMask(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q, err := s.pathAt(ctx, t, mode, mask, src, dst)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pathResponse{
+		Time: t, Mode: mode.String(), Fault: mask,
+		Src: s.cfg.Sim.CityName(src), Dst: s.cfg.Sim.CityName(dst),
+		Path: q,
+	})
+}
+
+// pathAt fetches (or builds, once) the snapshot and routes over it.
+func (s *Server) pathAt(ctx context.Context, t time.Time, mode core.Mode, mask string, src, dst int) (*core.PathQuery, error) {
+	n, err := s.cache.Get(ctx, s.cacheKey(t, mode, mask))
+	if err != nil {
+		return nil, err
+	}
+	return s.cfg.Sim.PathAt(ctx, n, src, dst)
+}
+
+type latencySample struct {
+	Time      time.Time `json:"time"`
+	Reachable bool      `json:"reachable"`
+	RTTMs     float64   `json:"rttMs,omitempty"`
+}
+
+type latencyResponse struct {
+	Mode    string          `json:"mode"`
+	Src     string          `json:"src"`
+	Dst     string          `json:"dst"`
+	Fault   string          `json:"fault,omitempty"`
+	Samples []latencySample `json:"samples"`
+	Summary struct {
+		MinMs     float64 `json:"minMs"`
+		MaxMs     float64 `json:"maxMs"`
+		MeanMs    float64 `json:"meanMs"`
+		RangeMs   float64 `json:"rangeMs"`
+		Reachable int     `json:"reachableSnapshots"`
+		Total     int     `json:"totalSnapshots"`
+	} `json:"summary"`
+}
+
+// handleLatency answers GET /v1/latency?src=&dst=[&mode=][&fault=...]: the
+// pair's RTT across the whole simulated day (the per-pair view behind the
+// paper's §4 variability figures). The request context is checked between
+// snapshots, so a cancelled scan stops within one snapshot's work.
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	src, err := s.parseCity(r, "src")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	dst, err := s.parseCity(r, "dst")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mode, err := parseMode(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mask, err := parseMask(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	resp := latencyResponse{
+		Mode: mode.String(), Fault: mask,
+		Src: s.cfg.Sim.CityName(src), Dst: s.cfg.Sim.CityName(dst),
+		Samples: make([]latencySample, 0, len(s.times)),
+	}
+	sum := 0.0
+	resp.Summary.MinMs = -1
+	for _, t := range s.times {
+		if testHookLatencySnapshot != nil {
+			testHookLatencySnapshot()
+		}
+		if err := ctx.Err(); err != nil {
+			s.fail(w, err)
+			return
+		}
+		q, err := s.pathAt(ctx, t, mode, mask, src, dst)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		sample := latencySample{Time: t, Reachable: q.Reachable}
+		if q.Reachable {
+			sample.RTTMs = q.RTTMs
+			sum += q.RTTMs
+			resp.Summary.Reachable++
+			if resp.Summary.MinMs < 0 || q.RTTMs < resp.Summary.MinMs {
+				resp.Summary.MinMs = q.RTTMs
+			}
+			if q.RTTMs > resp.Summary.MaxMs {
+				resp.Summary.MaxMs = q.RTTMs
+			}
+		}
+		resp.Samples = append(resp.Samples, sample)
+	}
+	resp.Summary.Total = len(s.times)
+	if resp.Summary.Reachable > 0 {
+		resp.Summary.MeanMs = sum / float64(resp.Summary.Reachable)
+		resp.Summary.RangeMs = resp.Summary.MaxMs - resp.Summary.MinMs
+	} else {
+		resp.Summary.MinMs = 0
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type reachabilityResponse struct {
+	Time         time.Time               `json:"time"`
+	Mode         string                  `json:"mode"`
+	Src          string                  `json:"src,omitempty"`
+	Fault        string                  `json:"fault,omitempty"`
+	Reachability *core.ReachabilityQuery `json:"reachability"`
+}
+
+// handleReachability answers GET /v1/reachability[?src=][&snap=|&t=][&mode=]
+// [&fault=...]: component structure and stranded satellites at one
+// snapshot, optionally from one source city's perspective.
+func (s *Server) handleReachability(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	mode, err := parseMode(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	t, err := s.parseTime(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mask, err := parseMask(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	src, srcName := -1, ""
+	if r.URL.Query().Get("src") != "" {
+		if src, err = s.parseCity(r, "src"); err != nil {
+			s.fail(w, err)
+			return
+		}
+		srcName = s.cfg.Sim.CityName(src)
+	}
+	n, err := s.cache.Get(ctx, s.cacheKey(t, mode, mask))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q, err := s.cfg.Sim.ReachabilityAt(ctx, n, src)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reachabilityResponse{
+		Time: t, Mode: mode.String(), Src: srcName, Fault: mask, Reachability: q,
+	})
+}
+
+type cacheStatsJSON struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Builds      int64   `json:"builds"`
+	Evictions   int64   `json:"evictions"`
+	Expirations int64   `json:"expirations"`
+	Errors      int64   `json:"errors"`
+	HitRate     float64 `json:"hitRate"`
+	Resident    int     `json:"resident"`
+}
+
+func (s *Server) cacheStatsJSON() cacheStatsJSON {
+	st := s.cache.Stats()
+	return cacheStatsJSON{
+		Hits: st.Hits, Misses: st.Misses, Builds: st.Builds,
+		Evictions: st.Evictions, Expirations: st.Expirations, Errors: st.Errors,
+		HitRate: st.HitRate(), Resident: s.cache.Len(),
+	}
+}
+
+// handleSnapshots answers GET /v1/snapshots: the queryable snapshot
+// schedule plus live snapshot-cache statistics.
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Scenario     string         `json:"scenario"`
+		SnapshotStep string         `json:"snapshotStep"`
+		Times        []time.Time    `json:"times"`
+		Cache        cacheStatsJSON `json:"cache"`
+	}{
+		Scenario:     s.scenario,
+		SnapshotStep: s.cfg.Sim.Scale.SnapshotStep.String(),
+		Times:        s.times,
+		Cache:        s.cacheStatsJSON(),
+	})
+}
+
+// handleHealthz answers GET /healthz: liveness plus the build identity, so
+// a fleet can be audited for what it is actually running.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status    string       `json:"status"`
+		Version   version.Info `json:"version"`
+		Sim       string       `json:"sim"`
+		UptimeSec float64      `json:"uptimeSec"`
+	}{
+		Status:    "ok",
+		Version:   version.Get(),
+		Sim:       s.cfg.Sim.String(),
+		UptimeSec: time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics answers GET /metrics as one JSON object: this server's
+// counters, the snapshot-cache statistics, and the process-wide expvar
+// globals (memstats etc). Server counters live in an unpublished map so
+// several Server instances never fight over the global expvar namespace.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n\"server\": %s,\n", s.vars.String())
+	cacheJSON, _ := json.Marshal(s.cacheStatsJSON())
+	fmt.Fprintf(w, "\"cache\": %s", cacheJSON)
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprint(w, "\n}\n")
+}

@@ -1,0 +1,188 @@
+// Package server turns a Sim into a long-running constellation query
+// service: an HTTP JSON API answering path, latency and reachability
+// questions against any snapshot of the moving constellation, under any
+// fault mask, concurrently.
+//
+// The load-bearing pieces:
+//
+//   - One snapcache.Cache of frozen snapshot graphs, keyed by
+//     (scenario, time, fault-mask). Concurrent queries for the same epoch
+//     build the network once (singleflight) and share the immutable CSR
+//     graph across goroutines; an LRU bound keeps memory flat.
+//   - Per-request routing scratch comes from the graph package's
+//     SearchState pool, so steady-state queries allocate almost nothing in
+//     the kernel.
+//   - Admission control: at most MaxInFlight queries run at once; beyond
+//     that the server sheds with 429 + Retry-After instead of queueing into
+//     collapse. Every query gets a deadline, and the request context is
+//     propagated into core — all the way into the Dijkstra kernel — so a
+//     disconnected client stops costing CPU within a poll interval.
+//   - Lifecycle: Serve(ctx, ln) runs until ctx is cancelled (the CLI wires
+//     SIGINT/SIGTERM), then drains in-flight requests gracefully before
+//     returning.
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"leosim/internal/core"
+	"leosim/internal/snapcache"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Sim is the simulation to serve queries against (required).
+	Sim *core.Sim
+	// CacheSize bounds resident snapshot graphs (default: snapshots per
+	// day + 4, enough for a whole-day latency scan per mode at small
+	// scales without evictions thrashing).
+	CacheSize int
+	// CacheTTL expires cached snapshots (default 0: never — snapshot
+	// graphs for a fixed scenario are immutable).
+	CacheTTL time.Duration
+	// MaxInFlight caps concurrently executing queries; excess requests
+	// receive 429 (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// RequestTimeout bounds each query (default 15s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown once the serve context is
+	// cancelled (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Sim == nil {
+		return fmt.Errorf("server: Config.Sim is required")
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = c.Sim.Scale.NumSnapshots + 4
+		if c.CacheSize < 16 {
+			c.CacheSize = 16
+		}
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// Server is the query service. Create one with New; it is safe for
+// arbitrary handler concurrency.
+type Server struct {
+	cfg      Config
+	scenario string // cache-key namespace: "<constellation>/<scale>"
+	cache    *snapcache.Cache
+	sem      chan struct{}
+	times    []time.Time
+	started  time.Time
+	mux      *http.ServeMux
+
+	// Counters surface on /metrics through an (unpublished) expvar.Map, so
+	// several servers — e.g. test instances — never collide in the global
+	// expvar namespace.
+	vars                                  *expvar.Map
+	requests, shed, cancelled, timeouts   expvar.Int
+	badRequests, notFound, internalErrors expvar.Int
+	inflight                              expvar.Int
+}
+
+// New builds a Server for cfg.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		scenario: fmt.Sprintf("%s/%s", cfg.Sim.Choice, cfg.Sim.Scale.Name),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		times:    cfg.Sim.SnapshotTimes(),
+		started:  time.Now(),
+	}
+	s.cache = snapcache.New(s.buildSnapshot, snapcache.Options{
+		Capacity: cfg.CacheSize,
+		TTL:      cfg.CacheTTL,
+	})
+	s.vars = new(expvar.Map).Init()
+	s.vars.Set("requests", &s.requests)
+	s.vars.Set("shed429", &s.shed)
+	s.vars.Set("cancelled", &s.cancelled)
+	s.vars.Set("timeouts", &s.timeouts)
+	s.vars.Set("badRequests", &s.badRequests)
+	s.vars.Set("notFound", &s.notFound)
+	s.vars.Set("internalErrors", &s.internalErrors)
+	s.vars.Set("inflight", &s.inflight)
+
+	s.mux = http.NewServeMux()
+	// Query endpoints: admission-controlled and deadline-bounded.
+	s.mux.HandleFunc("GET /v1/path", s.limited(s.handlePath))
+	s.mux.HandleFunc("GET /v1/latency", s.limited(s.handleLatency))
+	s.mux.HandleFunc("GET /v1/reachability", s.limited(s.handleReachability))
+	// Introspection endpoints: never shed, so probes and dashboards keep
+	// working while the query pool is saturated.
+	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the root handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the snapshot-cache counters (tests, /v1/snapshots).
+func (s *Server) CacheStats() snapcache.Stats { return s.cache.Stats() }
+
+// limited wraps a query handler with admission control and the per-request
+// deadline. Shedding replies 429 with Retry-After so well-behaved clients
+// back off.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		s.inflight.Add(1)
+		defer func() { s.inflight.Add(-1); <-s.sem }()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// in-flight requests run to completion (bounded by DrainTimeout) while new
+// connections are refused. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	<-errc // always http.ErrServerClosed after Shutdown
+	return err
+}

@@ -1,0 +1,259 @@
+// Package snapcache is a concurrency-safe cache of frozen per-snapshot
+// network graphs, keyed by (scenario, time, fault-mask). It is the shared
+// substrate of the serving subsystem: many concurrent queries against the
+// same constellation epoch must route over one graph built once, not once
+// per request.
+//
+// Three mechanisms compose:
+//
+//   - Singleflight: concurrent Gets for the same key elect one builder; the
+//     rest wait for its result. A waiter whose context expires gives up
+//     early, but the build itself keeps running and populates the cache —
+//     work already paid for is never thrown away.
+//   - LRU: a bounded number of snapshots stay resident; the
+//     least-recently-used entry is evicted when a new one arrives.
+//   - TTL: entries older than the configured lifetime are rebuilt on next
+//     access, which bounds staleness when the backing scenario can change
+//     (a zero TTL disables expiry — snapshot graphs for a fixed scenario
+//     are immutable).
+package snapcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leosim/internal/graph"
+)
+
+// Key identifies one snapshot graph. Two Gets with equal keys always share
+// one build and one cached network.
+type Key struct {
+	// Scenario namespaces the cache: constellation, scale, connectivity
+	// mode — everything that changes the graph apart from time and faults
+	// (e.g. "starlink/reduced/hybrid").
+	Scenario string
+	// Time is the snapshot instant.
+	Time time.Time
+	// Mask fingerprints the fault mask applied to the snapshot ("" = none).
+	// Distinct fault realizations must use distinct fingerprints.
+	Mask string
+}
+
+// String renders the key for logs and metrics.
+func (k Key) String() string {
+	if k.Mask == "" {
+		return fmt.Sprintf("%s@%s", k.Scenario, k.Time.Format(time.RFC3339))
+	}
+	return fmt.Sprintf("%s@%s+%s", k.Scenario, k.Time.Format(time.RFC3339), k.Mask)
+}
+
+// BuildFunc constructs the network for a key. It runs at most once per key
+// at a time (singleflight); the context is detached from any single
+// caller's cancellation, so a build outlives the request that triggered it.
+type BuildFunc func(ctx context.Context, key Key) (*graph.Network, error)
+
+// Options tune a Cache.
+type Options struct {
+	// Capacity bounds resident entries (default 16; minimum 1).
+	Capacity int
+	// TTL expires entries this long after their build completed; zero
+	// means entries never expire.
+	TTL time.Duration
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+// Stats are cumulative cache counters. Hits+Misses counts Gets; Builds
+// counts invocations of the build function (Misses > Builds when
+// singleflight coalesced concurrent misses).
+type Stats struct {
+	Hits, Misses, Builds, Evictions, Expirations, Errors int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before the first Get.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type entry struct {
+	n       *graph.Network
+	builtAt time.Time
+	elem    *list.Element // position in the LRU list; Value is the Key
+}
+
+// call is one in-flight singleflight build.
+type call struct {
+	done chan struct{}
+	n    *graph.Network
+	err  error
+	// gen is the cache generation the call started in; Purge bumps the
+	// generation so a build begun against the old scenario completes for
+	// its waiters but is not inserted into the purged cache.
+	gen uint64
+}
+
+// Cache is the snapshot cache. The zero value is not usable; call New.
+type Cache struct {
+	build BuildFunc
+	cap   int
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	lru      *list.List // front = most recently used
+	inflight map[Key]*call
+	gen      uint64 // bumped by Purge; guards stale in-flight inserts
+
+	hits, misses, builds, evictions, expirations, errors atomic.Int64
+}
+
+// New creates a cache that builds missing snapshots with build.
+func New(build BuildFunc, opts Options) *Cache {
+	if build == nil {
+		panic("snapcache: nil BuildFunc")
+	}
+	if opts.Capacity < 1 {
+		opts.Capacity = 16
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Cache{
+		build:    build,
+		cap:      opts.Capacity,
+		ttl:      opts.TTL,
+		now:      opts.Clock,
+		entries:  map[Key]*entry{},
+		lru:      list.New(),
+		inflight: map[Key]*call{},
+	}
+}
+
+// Get returns the cached network for key, building it (once, regardless of
+// how many goroutines ask concurrently) on a miss. It returns ctx.Err()
+// without a network if ctx is done before the build finishes; the build is
+// not abandoned on behalf of one impatient caller.
+func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			c.expirations.Add(1)
+		} else {
+			c.lru.MoveToFront(e.elem)
+			c.hits.Add(1)
+			c.mu.Unlock()
+			return e.n, nil
+		}
+	}
+	c.misses.Add(1)
+	if cl, ok := c.inflight[key]; ok {
+		// Someone else is already building this snapshot; wait for them.
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.n, cl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{}), gen: c.gen}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	// Build detached from the leader's cancellation: followers with live
+	// contexts — and the next request for this key — still want the result.
+	go func() {
+		defer func() {
+			// A panicking build must not strand waiters on a never-closed
+			// channel; surface it as an error to every waiter instead.
+			if r := recover(); r != nil {
+				cl.err = fmt.Errorf("snapcache: build %s panicked: %v", key, r)
+				c.finish(key, cl)
+			}
+		}()
+		c.builds.Add(1)
+		cl.n, cl.err = c.build(context.WithoutCancel(ctx), key)
+		c.finish(key, cl)
+	}()
+
+	select {
+	case <-cl.done:
+		return cl.n, cl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes a completed build: on success the entry enters the LRU
+// (evicting the coldest if over capacity); errors are not cached, so the
+// next Get retries.
+func (c *Cache) finish(key Key, cl *call) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err != nil {
+		c.errors.Add(1)
+	} else if _, exists := c.entries[key]; !exists && cl.gen == c.gen {
+		for c.lru.Len() >= c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(Key))
+			c.evictions.Add(1)
+		}
+		c.entries[key] = &entry{n: cl.n, builtAt: c.now(), elem: c.lru.PushFront(key)}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// Peek reports whether key is resident without touching LRU order or
+// counters (tests and metrics).
+func (c *Cache) Peek(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && !(c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl)
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every resident entry and marks in-flight builds stale: they
+// still complete for their waiters but are not inserted afterwards. Used
+// when the backing scenario changes under the cache — a builder swap or a
+// segment mutation.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	c.entries = map[Key]*entry{}
+	c.lru.Init()
+	c.gen++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Builds:      c.builds.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+		Errors:      c.errors.Load(),
+	}
+}

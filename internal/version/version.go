@@ -1,0 +1,72 @@
+// Package version exposes the build's identity: a semantic version that can
+// be stamped at link time and the VCS revision Go embeds into binaries built
+// from a git checkout. `leosim -version` prints it and the serving
+// subsystem reports it from /healthz, so a fleet of query servers can be
+// audited for what they are actually running.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the semantic release version. Stamp it at build time with
+//
+//	go build -ldflags "-X leosim/internal/version.Version=v1.2.3" ./cmd/leosim
+//
+// It stays "dev" for plain `go build` / `go run` invocations.
+var Version = "dev"
+
+// Info describes one build.
+type Info struct {
+	// Version is the stamped release version ("dev" if unstamped).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash the binary was built from, empty
+	// outside version control (e.g. test binaries from a module cache).
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp (RFC3339), when known.
+	Time string `json:"time,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+}
+
+// Get assembles the build info, merging the link-time Version with the
+// VCS metadata debug.ReadBuildInfo embeds.
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			info.Revision = kv.Value
+		case "vcs.time":
+			info.Time = kv.Value
+		case "vcs.modified":
+			info.Modified = kv.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders a one-line identity, e.g.
+// "leosim dev (rev 44f868d*, go1.24.0)".
+func (i Info) String() string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	dirty := ""
+	if i.Modified {
+		dirty = "*"
+	}
+	return fmt.Sprintf("leosim %s (rev %s%s, %s)", i.Version, rev, dirty, i.GoVersion)
+}

@@ -1,0 +1,29 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Error("Version must never be empty")
+	}
+	if i.GoVersion == "" || !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", i.GoVersion)
+	}
+}
+
+func TestString(t *testing.T) {
+	i := Info{Version: "v1.2.3", Revision: "0123456789abcdef", Modified: true, GoVersion: "go1.24.0"}
+	got := i.String()
+	want := "leosim v1.2.3 (rev 0123456789ab*, go1.24.0)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	bare := Info{Version: "dev", GoVersion: "go1.24.0"}
+	if got := bare.String(); got != "leosim dev (rev unknown, go1.24.0)" {
+		t.Errorf("String() = %q", got)
+	}
+}
