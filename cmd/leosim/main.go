@@ -30,10 +30,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"syscall"
 	"time"
@@ -94,7 +96,9 @@ func run(ctx context.Context, args []string) error {
 	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
 	cdfPoints := fs.Int("cdf-points", 20, "points per printed CDF series (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit results as JSON envelopes instead of text")
-	verbose := fs.Bool("v", false, "print coarse progress for long-running phases to stderr")
+	verbose := fs.Bool("v", false, "debug logging plus progress/ETA lines for long-running phases on stderr")
+	quiet := fs.Bool("quiet", false, "errors only on stderr (overrides -v)")
+	traceFile := fs.String("trace", "", "write a runtime/trace of the run to this file")
 	seed := fs.Int64("seed", 0, "override the traffic-matrix sampling seed (0 = scale default)")
 	pairs := fs.Int("pairs", 0, "override the number of sampled city pairs (0 = scale default)")
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
@@ -140,8 +144,34 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
+	// All operator chatter (run headers, timings, progress) goes through
+	// slog on stderr, so stdout carries nothing but results — with -json, a
+	// machine-clean stream of envelopes.
+	lvl := slog.LevelInfo
+	switch {
+	case *quiet:
+		lvl = slog.LevelError
+	case *verbose:
+		lvl = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	if *verbose {
 		leosim.SetProgress(os.Stderr)
+	}
+	// Batch runs always record stage histograms: the cost with telemetry
+	// enabled is still nanoseconds per stage, and the per-run breakdown
+	// (stage_times, debug logs) depends on it.
+	leosim.EnableTelemetry()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -174,7 +204,8 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# %s (built in %v)\n", sim, time.Since(start).Round(time.Millisecond))
+	logger.Info("sim ready", "sim", sim.String(),
+		"buildMs", time.Since(start).Milliseconds())
 
 	experiments := []string{cmd}
 	switch cmd {
@@ -187,16 +218,26 @@ func run(ctx context.Context, args []string) error {
 	}
 	for _, e := range experiments {
 		t0 := time.Now()
-		fmt.Printf("\n== %s ==\n", e)
-		if err := runExperiment(ctx, sim, e, *cdfPoints, *jsonOut, *faultName); err != nil {
+		logger.Info("experiment start", "name", e)
+		// One recorder per experiment: every pipeline stage run under this
+		// context attributes its time here, surfacing as "stage_times" in
+		// the JSON envelope and in the done log line.
+		rec := leosim.NewTelemetryRecorder()
+		ectx := leosim.WithTelemetryRecorder(ctx, rec)
+		if err := runExperiment(ectx, sim, e, *cdfPoints, *jsonOut, *faultName, rec); err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
-		fmt.Printf("-- %s done in %v\n", e, time.Since(t0).Round(time.Millisecond))
+		attrs := []any{slog.String("name", e),
+			slog.Int64("durMs", time.Since(t0).Milliseconds())}
+		if stages := rec.Summary(); stages != "" {
+			attrs = append(attrs, slog.String("stages", stages))
+		}
+		logger.Info("experiment done", attrs...)
 	}
 	return nil
 }
 
-func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string) error {
+func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string, rec *leosim.TelemetryRecorder) error {
 	w := os.Stdout
 	// partial is set by the experiments that can flush a completed prefix
 	// after cancellation (fig2a/fig2b, disconnected, resilience) before they
@@ -204,7 +245,7 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 	partial := false
 	emit := func(data interface{}, text func()) error {
 		if jsonOut {
-			return leosim.WriteJSONPartial(w, cmd, sim, data, partial)
+			return leosim.WriteJSONStages(w, cmd, sim, data, partial, rec)
 		}
 		text()
 		return nil

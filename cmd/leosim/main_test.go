@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -99,6 +101,26 @@ func TestRunServeDrainsOnCancel(t *testing.T) {
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("serve did not drain after cancel")
+	}
+}
+
+// -quiet and -trace ride along on any run: -quiet silences the slog lines,
+// -trace writes a non-empty runtime/trace file.
+func TestRunQuietAndTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.trace")
+	if err := run(context.Background(), []string{"-scale", "tiny", "-quiet", "-trace", out, "info"}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("trace file is empty")
+	}
+	// An unwritable trace path must fail up front, not mid-run.
+	if err := run(context.Background(), []string{"-scale", "tiny", "-trace", filepath.Join(out, "nope"), "info"}); err == nil {
+		t.Error("unwritable -trace path should fail")
 	}
 }
 

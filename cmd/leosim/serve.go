@@ -7,6 +7,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"time"
@@ -15,6 +16,24 @@ import (
 	"leosim/internal/server"
 	"leosim/internal/version"
 )
+
+// newLogger builds the serve request logger from the -log-level/-log-format
+// flags; both handlers write to stderr, keeping stdout clean.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("leosim serve", flag.ContinueOnError)
@@ -28,6 +47,9 @@ func runServe(ctx context.Context, args []string) error {
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent query cap, excess sheds 429 (0 = 2×GOMAXPROCS)")
 	reqTimeout := fs.Duration("req-timeout", 15*time.Second, "per-query deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound after SIGTERM")
+	logLevel := fs.String("log-level", "info", "request log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "request log format: text|json")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz /metrics\n\nflags:\n")
 		fs.PrintDefaults()
@@ -54,6 +76,10 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
 	sim, err := leosim.NewSim(choice, scale)
@@ -67,6 +93,8 @@ func runServe(ctx context.Context, args []string) error {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drainTimeout,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		return err

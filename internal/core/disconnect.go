@@ -7,6 +7,7 @@ import (
 
 	"leosim/internal/graph"
 	"leosim/internal/safe"
+	"leosim/internal/telemetry"
 )
 
 // DisconnectResult is the §5 satellite-utilization statistic: the fraction
@@ -35,17 +36,20 @@ func RunDisconnected(ctx context.Context, s *Sim) (res *DisconnectResult, err er
 			s.Scale.NumSnapshots)
 	}
 	res = &DisconnectResult{Min: math.Inf(1), Max: math.Inf(-1)}
+	prog := telemetry.NewProgress(Progress, "disconnected", len(times))
+	defer prog.Finish()
 	var sum float64
 	for _, t := range times {
 		if ctx.Err() != nil {
 			break
 		}
-		n := s.NetworkAt(t, BP)
+		n := s.NetworkAtCtx(ctx, t, BP)
 		frac := disconnectedSatFraction(n)
 		res.FractionPerSnapshot = append(res.FractionPerSnapshot, frac)
 		res.Min = math.Min(res.Min, frac)
 		res.Max = math.Max(res.Max, frac)
 		sum += frac
+		prog.Step(1)
 	}
 	if len(res.FractionPerSnapshot) == 0 {
 		return nil, ctx.Err()

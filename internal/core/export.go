@@ -5,35 +5,49 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"leosim/internal/telemetry"
 )
 
 // JSONEnvelope wraps an experiment result with enough metadata to interpret
 // it standalone (which constellation, which scale, which experiment).
 type JSONEnvelope struct {
-	Tool          string      `json:"tool"`
-	Paper         string      `json:"paper"`
-	Experiment    string      `json:"experiment"`
-	Constellation string      `json:"constellation"`
-	Scale         string      `json:"scale"`
+	Tool          string `json:"tool"`
+	Paper         string `json:"paper"`
+	Experiment    string `json:"experiment"`
+	Constellation string `json:"constellation"`
+	Scale         string `json:"scale"`
 	// Partial marks an envelope flushed after a cancelled (e.g. Ctrl-C)
 	// run: Data covers the completed prefix of the experiment only.
-	Partial bool        `json:"partial,omitempty"`
-	Data    interface{} `json:"data"`
+	Partial bool `json:"partial,omitempty"`
+	// StageTimes breaks the run's wall time down by pipeline stage (graph
+	// build, search, allocation, …) when the run carried a telemetry
+	// recorder; absent otherwise.
+	StageTimes map[string]telemetry.StageTime `json:"stage_times,omitempty"`
+	Data       interface{}                    `json:"data"`
 }
 
 // WriteJSON emits an experiment result as an indented JSON envelope.
 func WriteJSON(w io.Writer, experiment string, s *Sim, data interface{}) error {
-	return WriteJSONPartial(w, experiment, s, data, false)
+	return WriteJSONStages(w, experiment, s, data, false, nil)
 }
 
 // WriteJSONPartial is WriteJSON with an explicit partial flag, used when a
 // cancelled run flushes the snapshots it completed.
 func WriteJSONPartial(w io.Writer, experiment string, s *Sim, data interface{}, partial bool) error {
+	return WriteJSONStages(w, experiment, s, data, partial, nil)
+}
+
+// WriteJSONStages is WriteJSONPartial with the run's telemetry recorder: a
+// non-nil rec with observed spans adds the per-stage time breakdown to the
+// envelope.
+func WriteJSONStages(w io.Writer, experiment string, s *Sim, data interface{}, partial bool, rec *telemetry.Recorder) error {
 	env := JSONEnvelope{
 		Tool:       "leosim",
 		Paper:      "Hauri et al., 'Internet from Space' without Inter-satellite Links?, HotNets 2020",
 		Experiment: experiment,
 		Partial:    partial,
+		StageTimes: rec.Breakdown(),
 		Data:       data,
 	}
 	if s != nil {

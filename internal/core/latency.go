@@ -7,6 +7,7 @@ import (
 
 	"leosim/internal/safe"
 	"leosim/internal/stats"
+	"leosim/internal/telemetry"
 )
 
 // LatencyResult holds the Fig 2 experiment output: per-pair minimum RTT and
@@ -49,6 +50,8 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		ok[i] = true
 	}
 
+	prog := telemetry.NewProgress(Progress, "latency", len(times))
+	defer prog.Finish()
 	done := 0
 	for _, t := range times {
 		if ctx.Err() != nil {
@@ -59,7 +62,7 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		// snapshot ahead of the other's.
 		snap := map[Mode][]float64{}
 		for _, m := range []Mode{BP, Hybrid} {
-			n := s.NetworkAt(t, m)
+			n := s.NetworkAtCtx(ctx, t, m)
 			rtts, rerr := s.pairRTTs(ctx, n, false)
 			if rerr != nil {
 				if ctx.Err() != nil && done > 0 {
@@ -88,6 +91,7 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 			}
 		}
 		done++
+		prog.Step(1)
 	}
 	if done == 0 {
 		if cerr := ctx.Err(); cerr != nil {

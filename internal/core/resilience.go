@@ -11,6 +11,7 @@ import (
 	"leosim/internal/graph"
 	"leosim/internal/safe"
 	"leosim/internal/stats"
+	"leosim/internal/telemetry"
 )
 
 // resilienceMaxSnapshots caps how many snapshots each sweep point evaluates:
@@ -123,6 +124,8 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 		baseline[mode] = *ev
 	}
 
+	prog := telemetry.NewProgress(Progress, "resilience", len(fractions))
+	defer prog.Finish()
 	for i, frac := range fractions {
 		if ctx.Err() != nil && len(res.Fractions) > 0 {
 			res.Partial = true
@@ -132,7 +135,9 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 		if err != nil {
 			return nil, err
 		}
+		fsp := telemetry.RecordSpan(ctx, telemetry.StageFaultRealize)
 		outages, err := plan.Realize(s.Const, len(s.Seg.Terminals))
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +173,7 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 			})
 		}
 		res.Fractions = append(res.Fractions, frac)
+		prog.Step(1)
 	}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"leosim/internal/ground"
 	"leosim/internal/safe"
 	"leosim/internal/snapcache"
+	"leosim/internal/telemetry"
 )
 
 // Sim owns the simulation state for one constellation at one scale: the
@@ -209,7 +210,17 @@ func (s *Sim) SnapshotTimes() []time.Time {
 // NetworkAt returns the (cached) network snapshot for mode at time t.
 // Concurrent callers asking for the same snapshot share one build.
 func (s *Sim) NetworkAt(t time.Time, mode Mode) *graph.Network {
-	n, err := s.snap.Get(context.Background(), snapcache.Key{
+	return s.NetworkAtCtx(context.Background(), t, mode)
+}
+
+// NetworkAtCtx is NetworkAt with the caller's context values — notably a
+// telemetry recorder — carried into the snapshot cache, so cache hits,
+// singleflight waits and build time are attributed to the run that incurred
+// them. Cancellation is deliberately stripped: experiments poll their
+// context at snapshot boundaries, and a build, once started, is never
+// abandoned (snapcache's contract).
+func (s *Sim) NetworkAtCtx(ctx context.Context, t time.Time, mode Mode) *graph.Network {
+	n, err := s.snap.Get(context.WithoutCancel(ctx), snapcache.Key{
 		Scenario: mode.String(),
 		Time:     t,
 	})
@@ -262,6 +273,10 @@ var pairRTTsTestHook func(src int)
 // Cancellation of ctx stops the fan-out between sources and returns the
 // context's error; a worker panic comes back as a *safe.PanicError.
 func (s *Sim) pairRTTs(ctx context.Context, n *graph.Network, noGroundTransit bool) ([]float64, error) {
+	// Recorder-only span: the per-search kernel time already feeds the
+	// registry histogram from graph.Search; this attributes the whole
+	// fan-out's wall time to the run.
+	defer telemetry.RecordSpan(ctx, telemetry.StageSearch).End()
 	bySrc := map[int][]int{}
 	for pi, p := range s.Pairs {
 		bySrc[p.Src] = append(bySrc[p.Src], pi)

@@ -12,6 +12,7 @@ import (
 	"leosim/internal/flow"
 	"leosim/internal/graph"
 	"leosim/internal/safe"
+	"leosim/internal/telemetry"
 )
 
 // ThroughputResult holds one §5 data point: the max-min fair aggregate
@@ -35,7 +36,7 @@ func RunThroughput(ctx context.Context, s *Sim, mode Mode, k int, t time.Time) (
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
 	}
-	n := s.NetworkAt(t, mode)
+	n := s.NetworkAtCtx(ctx, t, mode)
 	res, err = throughputOn(ctx, s, n, k)
 	if err != nil {
 		return nil, err
@@ -63,7 +64,9 @@ func throughputOn(ctx context.Context, s *Sim, n *graph.Network, k int) (*Throug
 			}
 		}
 	}
+	asp := telemetry.RecordSpan(ctx, telemetry.StageMaxMin)
 	alloc, err := pr.MaxMinFair()
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +93,7 @@ func progressf(format string, args ...interface{}) {
 // parallel across pairs. Cancellation stops scheduling further pairs and
 // returns the context's error; a worker panic returns as a *safe.PanicError.
 func computePairPaths(ctx context.Context, s *Sim, n *graph.Network, k int) ([][]graph.Path, error) {
+	defer telemetry.RecordSpan(ctx, telemetry.StageKDisjoint).End()
 	out := make([][]graph.Path, len(s.Pairs))
 	var done int64
 	g := safe.NewGroup(ctx, runtime.GOMAXPROCS(0))
@@ -157,7 +161,7 @@ func RunFig5(ctx context.Context, s *Sim, ratios []float64) (points []Fig5Point,
 	if err != nil {
 		return nil, 0, err
 	}
-	n := s.NetworkAt(t, Hybrid)
+	n := s.NetworkAtCtx(ctx, t, Hybrid)
 	paths, err := computePairPaths(ctx, s, n, k)
 	if err != nil {
 		return nil, 0, err

@@ -11,6 +11,7 @@ import (
 	"leosim/internal/itur"
 	"leosim/internal/safe"
 	"leosim/internal/stats"
+	"leosim/internal/telemetry"
 )
 
 // WeatherResult holds the §6 experiment output.
@@ -78,12 +79,18 @@ func weatherCurves(ctx context.Context, s *Sim, pairs []Pair, band Band) (bp, is
 	defer safe.RecoverTo(&err)
 	bp = make([][]itur.Curve, len(pairs))
 	isl = make([][]itur.Curve, len(pairs))
-	for _, t := range s.SnapshotTimes() {
+	times := s.SnapshotTimes()
+	prog := telemetry.NewProgress(Progress, "weather", len(times))
+	defer prog.Finish()
+	for _, t := range times {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		bpNet := s.NetworkAt(t, BP)
-		hyNet := s.NetworkAt(t, Hybrid)
+		bpNet := s.NetworkAtCtx(ctx, t, BP)
+		hyNet := s.NetworkAtCtx(ctx, t, Hybrid)
+		// Recorder-only span over the per-snapshot curve fan-out; the
+		// per-curve cost feeds the registry histogram from itur.NewCurve.
+		sp := telemetry.RecordSpan(ctx, telemetry.StageWeather)
 		g := safe.NewGroup(ctx, runtime.GOMAXPROCS(0))
 		for pi := range pairs {
 			pi := pi
@@ -106,9 +113,12 @@ func weatherCurves(ctx context.Context, s *Sim, pairs []Pair, band Band) (bp, is
 				return nil
 			})
 		}
-		if err := g.Wait(); err != nil {
+		err := g.Wait()
+		sp.End()
+		if err != nil {
 			return nil, nil, err
 		}
+		prog.Step(1)
 	}
 	return bp, isl, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"leosim/internal/constellation"
 	"leosim/internal/graph"
+	"leosim/internal/telemetry"
 )
 
 // Scenario names one failure dimension a resilience sweep varies.
@@ -163,6 +164,8 @@ func (p Plan) Realize(c *constellation.Constellation, numTerminals int) (*Outage
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	sp := telemetry.StartStageSpan(telemetry.StageFaultRealize)
+	defer sp.End()
 	if c == nil {
 		return nil, fmt.Errorf("fault: constellation is required")
 	}

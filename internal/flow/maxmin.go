@@ -10,6 +10,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"leosim/internal/telemetry"
 )
 
 // Problem is a max-min fair allocation instance over directed edges.
@@ -74,6 +76,8 @@ func (p *Problem) MaxMinFair() ([]float64, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
+	sp := telemetry.StartStageSpan(telemetry.StageMaxMin)
+	defer sp.End()
 	nf := len(p.flowEdges)
 	alloc := make([]float64, nf)
 	if nf == 0 {

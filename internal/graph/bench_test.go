@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"leosim/internal/geo"
+	"leosim/internal/telemetry"
 )
 
 // benchGrid builds a rows×cols torus-grid network with nodes placed on a
@@ -96,6 +97,43 @@ func BenchmarkYen(b *testing.B) {
 		paths := n.KShortestPaths(src, dst, 8)
 		if len(paths) != 8 {
 			b.Fatalf("got %d paths", len(paths))
+		}
+	}
+}
+
+// BenchmarkSearch measures the raw kernel loop (pooled state, no slice
+// materialization) with telemetry disabled — the configuration every batch
+// run starts in. Its ns/op must stay within noise of the pre-telemetry
+// kernel (BENCH_routing.json): the disabled-path cost is one atomic load.
+func BenchmarkSearch(b *testing.B) {
+	telemetry.Disable()
+	n := benchGrid(80, 100)
+	st := AcquireSearch()
+	defer st.Release()
+	spec := SearchSpec{Src: 0, Target: NoTarget}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.Search(st, spec) {
+			b.Fatal("search stopped")
+		}
+	}
+}
+
+// BenchmarkSearchTelemetryEnabled is the same kernel loop with the metrics
+// registry installed: the span observes one histogram bucket per search.
+func BenchmarkSearchTelemetryEnabled(b *testing.B) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	n := benchGrid(80, 100)
+	st := AcquireSearch()
+	defer st.Release()
+	spec := SearchSpec{Src: 0, Target: NoTarget}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.Search(st, spec) {
+			b.Fatal("search stopped")
 		}
 	}
 }

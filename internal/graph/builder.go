@@ -12,6 +12,7 @@ import (
 	"leosim/internal/geo"
 	"leosim/internal/ground"
 	"leosim/internal/safe"
+	"leosim/internal/telemetry"
 )
 
 // BuildOptions configure per-snapshot graph construction.
@@ -168,6 +169,8 @@ func (x *satIndex) candidates(lat, lon, radiusDeg float64, out []int32) []int32 
 // At builds the network snapshot for time t. Node layout: satellites
 // [0,S), cities, relays, then over-water aircraft.
 func (b *Builder) At(t time.Time) *Network {
+	sp := telemetry.StartStageSpan(telemetry.StageGraphBuild)
+	defer sp.End()
 	satPos := b.Const.PositionsECEF(t)
 	n := &Network{}
 	n.NumSat = len(satPos)

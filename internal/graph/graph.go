@@ -14,6 +14,7 @@ import (
 
 	"leosim/internal/geo"
 	"leosim/internal/safe"
+	"leosim/internal/telemetry"
 )
 
 // NodeKind classifies graph nodes.
@@ -186,6 +187,10 @@ func (n *Network) ensureCSR() {
 	if n.csrValid.Load() {
 		return
 	}
+	// The span starts after the fast-path returns, so only real freezes —
+	// once per network — are measured.
+	sp := telemetry.StartStageSpan(telemetry.StageCSRFreeze)
+	defer sp.End()
 	nn := len(n.Kind)
 	start := make([]int32, nn+1)
 	for _, l := range n.Links {
@@ -303,6 +308,8 @@ func (n *Network) ShortestPathSatTransit(src, dst int32) (Path, bool) {
 // (the scheme §5 routes traffic over). Fewer than k paths are returned when
 // the graph runs out of disjoint routes.
 func (n *Network) KDisjointPaths(src, dst int32, k int) []Path {
+	sp := telemetry.StartStageSpan(telemetry.StageKDisjoint)
+	defer sp.End()
 	st := AcquireSearch()
 	defer st.Release()
 	var out []Path

@@ -3,6 +3,8 @@ package graph
 import (
 	"math"
 	"sync"
+
+	"leosim/internal/telemetry"
 )
 
 // SearchState is the reusable scratch memory of one shortest-path search:
@@ -302,6 +304,11 @@ const NoTarget int32 = -1
 // Search reports whether it ran to completion: false means spec.Stop
 // abandoned it and st holds partial, unusable results.
 func (n *Network) Search(st *SearchState, spec SearchSpec) bool {
+	// One span per search, outside the loop: with telemetry disabled this
+	// is a single atomic load, preserving the kernel's allocation-free
+	// profile (verified by BenchmarkSearch vs BENCH_telemetry.json).
+	sp := telemetry.StartStageSpan(telemetry.StageSearch)
+	defer sp.End()
 	n.ensureCSR()
 	st.begin(n, spec)
 	st.dist[spec.Src] = 0

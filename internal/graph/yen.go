@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+
+	"leosim/internal/telemetry"
 )
 
 // KShortestPaths returns up to k loopless shortest paths from src to dst in
@@ -15,6 +17,8 @@ func (n *Network) KShortestPaths(src, dst int32, k int) []Path {
 	if k < 1 {
 		return nil
 	}
+	sp := telemetry.StartStageSpan(telemetry.StageYen)
+	defer sp.End()
 	first, ok := n.ShortestPath(src, dst)
 	if !ok {
 		return nil

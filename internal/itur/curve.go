@@ -3,6 +3,8 @@ package itur
 import (
 	"math"
 	"sort"
+
+	"leosim/internal/telemetry"
 )
 
 // Curve is an attenuation exceedance curve: A(p) in dB as a monotone
@@ -23,6 +25,8 @@ var DefaultPGrid = []float64{
 
 // NewCurve samples the total attenuation of a link over the default grid.
 func NewCurve(lp LinkParams) (Curve, error) {
+	sp := telemetry.StartStageSpan(telemetry.StageWeather)
+	defer sp.End()
 	c := Curve{P: DefaultPGrid, A: make([]float64, len(DefaultPGrid))}
 	for i, p := range c.P {
 		a, err := TotalAttenuation(lp, p)

@@ -146,4 +146,3 @@ func MeanPathDelayMs(asgs []Assignment) float64 {
 	}
 	return sum / float64(n)
 }
-

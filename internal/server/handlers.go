@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -15,6 +14,7 @@ import (
 	"leosim/internal/fault"
 	"leosim/internal/graph"
 	"leosim/internal/snapcache"
+	"leosim/internal/telemetry"
 	"leosim/internal/version"
 )
 
@@ -476,17 +476,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics answers GET /metrics as one JSON object: this server's
-// counters, the snapshot-cache statistics, and the process-wide expvar
-// globals (memstats etc). Server counters live in an unpublished map so
-// several Server instances never fight over the global expvar namespace.
+// metricsResponse is the GET /metrics payload: this server's registry
+// (request counters, cache gauges, per-route latency histograms), the
+// snapshot-cache statistics, the process-wide pipeline-stage histograms
+// (graph build, search, flow allocation, cache lookup — p50/p90/p99 each),
+// and a runtime/metrics sample of the Go runtime.
+type metricsResponse struct {
+	Server  telemetry.RegistrySnapshot             `json:"server"`
+	Cache   cacheStatsJSON                         `json:"cache"`
+	Stages  map[string]telemetry.HistogramSnapshot `json:"stages,omitempty"`
+	Runtime telemetry.RuntimeStats                 `json:"runtime"`
+}
+
+// handleMetrics answers GET /metrics as one JSON object. Server counters
+// live in a per-server registry so several Server instances never share a
+// namespace; the stage histograms come from the process-global telemetry
+// registry New enabled.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\n\"server\": %s,\n", s.vars.String())
-	cacheJSON, _ := json.Marshal(s.cacheStatsJSON())
-	fmt.Fprintf(w, "\"cache\": %s", cacheJSON)
-	expvar.Do(func(kv expvar.KeyValue) {
-		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
-	})
-	fmt.Fprint(w, "\n}\n")
+	resp := metricsResponse{
+		Server:  s.reg.Snapshot(),
+		Cache:   s.cacheStatsJSON(),
+		Runtime: telemetry.SampleRuntime(),
+	}
+	if reg := telemetry.Active(); reg != nil {
+		resp.Stages = reg.Snapshot().Stages
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -24,15 +24,18 @@ package server
 
 import (
 	"context"
-	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"leosim/internal/core"
 	"leosim/internal/snapcache"
+	"leosim/internal/telemetry"
 )
 
 // Config assembles a Server.
@@ -54,6 +57,12 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown once the serve context is
 	// cancelled (default 10s).
 	DrainTimeout time.Duration
+	// Logger receives one structured line per request (id, method, path,
+	// status, duration, stage timings). Nil discards logs.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default: profiling endpoints expose internals and cost CPU when hit.
+	EnablePprof bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -75,8 +84,19 @@ func (c *Config) fillDefaults() error {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
 	return nil
 }
+
+// discardHandler drops every record (the default when Config.Logger is nil).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 // Server is the query service. Create one with New; it is safe for
 // arbitrary handler concurrency.
@@ -88,14 +108,17 @@ type Server struct {
 	times    []time.Time
 	started  time.Time
 	mux      *http.ServeMux
+	log      *slog.Logger
+	reqID    atomic.Int64 // monotonic request id for log correlation
 
-	// Counters surface on /metrics through an (unpublished) expvar.Map, so
-	// several servers — e.g. test instances — never collide in the global
-	// expvar namespace.
-	vars                                  *expvar.Map
-	requests, shed, cancelled, timeouts   expvar.Int
-	badRequests, notFound, internalErrors expvar.Int
-	inflight                              expvar.Int
+	// reg holds this server's counters, gauges and per-route latency
+	// histograms. Per-server (not the process-global telemetry registry) so
+	// several instances — e.g. test servers — never share a namespace. The
+	// cache's counters surface as pull-style gauges on the same registry.
+	reg                                   *telemetry.Registry
+	requests, shed, cancelled, timeouts   *telemetry.Counter
+	badRequests, notFound, internalErrors *telemetry.Counter
+	inflight                              *telemetry.Gauge
 }
 
 // New builds a Server for cfg.
@@ -114,27 +137,119 @@ func New(cfg Config) (*Server, error) {
 		Capacity: cfg.CacheSize,
 		TTL:      cfg.CacheTTL,
 	})
-	s.vars = new(expvar.Map).Init()
-	s.vars.Set("requests", &s.requests)
-	s.vars.Set("shed429", &s.shed)
-	s.vars.Set("cancelled", &s.cancelled)
-	s.vars.Set("timeouts", &s.timeouts)
-	s.vars.Set("badRequests", &s.badRequests)
-	s.vars.Set("notFound", &s.notFound)
-	s.vars.Set("internalErrors", &s.internalErrors)
-	s.vars.Set("inflight", &s.inflight)
+	s.log = cfg.Logger
+
+	// The process-global telemetry registry feeds the per-stage histograms
+	// (graph build, search, cache lookup, …) that /metrics reports; a serve
+	// process always records them.
+	telemetry.Enable()
+
+	s.reg = telemetry.NewRegistry()
+	s.requests = s.reg.Counter("requests")
+	s.shed = s.reg.Counter("shed429")
+	s.cancelled = s.reg.Counter("cancelled")
+	s.timeouts = s.reg.Counter("timeouts")
+	s.badRequests = s.reg.Counter("badRequests")
+	s.notFound = s.reg.Counter("notFound")
+	s.internalErrors = s.reg.Counter("internalErrors")
+	s.inflight = s.reg.Gauge("inflight")
+	// Snapshot-cache counters as pull-style gauges: read at snapshot time
+	// from the cache's own atomics, never copied on the request path.
+	// singleflight_shares is the misses that piggybacked on another
+	// caller's build instead of paying for their own.
+	s.reg.RegisterGaugeFunc("cache_hits", func() int64 { return s.cache.Stats().Hits })
+	s.reg.RegisterGaugeFunc("cache_misses", func() int64 { return s.cache.Stats().Misses })
+	s.reg.RegisterGaugeFunc("cache_builds", func() int64 { return s.cache.Stats().Builds })
+	s.reg.RegisterGaugeFunc("cache_evictions", func() int64 { return s.cache.Stats().Evictions })
+	s.reg.RegisterGaugeFunc("cache_singleflight_shares", func() int64 {
+		st := s.cache.Stats()
+		return st.Misses - st.Builds
+	})
+	s.reg.RegisterGaugeFunc("cache_resident", func() int64 { return int64(s.cache.Len()) })
 
 	s.mux = http.NewServeMux()
-	// Query endpoints: admission-controlled and deadline-bounded.
-	s.mux.HandleFunc("GET /v1/path", s.limited(s.handlePath))
-	s.mux.HandleFunc("GET /v1/latency", s.limited(s.handleLatency))
-	s.mux.HandleFunc("GET /v1/reachability", s.limited(s.handleReachability))
+	// Query endpoints: admission-controlled and deadline-bounded, with a
+	// per-route latency histogram and one structured log line per request.
+	s.mux.HandleFunc("GET /v1/path", s.instrumented("path", slog.LevelInfo, s.limited(s.handlePath)))
+	s.mux.HandleFunc("GET /v1/latency", s.instrumented("latency", slog.LevelInfo, s.limited(s.handleLatency)))
+	s.mux.HandleFunc("GET /v1/reachability", s.instrumented("reachability", slog.LevelInfo, s.limited(s.handleReachability)))
 	// Introspection endpoints: never shed, so probes and dashboards keep
-	// working while the query pool is saturated.
-	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// working while the query pool is saturated; logged at debug so a
+	// scraper doesn't drown the request log.
+	s.mux.HandleFunc("GET /v1/snapshots", s.instrumented("snapshots", slog.LevelDebug, s.handleSnapshots))
+	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", slog.LevelDebug, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrumented("metrics", slog.LevelDebug, s.handleMetrics))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// statusWriter captures the status code a handler wrote (200 if it never
+// called WriteHeader explicitly before the first Write).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrumented wraps a handler with the observability envelope: a request id,
+// a per-request telemetry recorder (carried in the context, so every pipeline
+// stage the request touches is attributed to it), a per-route latency
+// histogram, and one structured log line. 5xx responses log at Warn
+// regardless of the route's base level.
+func (s *Server) instrumented(route string, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("http_" + route + "_ms")
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		rec := telemetry.NewRecorder()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(telemetry.WithRecorder(r.Context(), rec)))
+		dur := time.Since(start)
+		hist.Observe(dur)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		level := lvl
+		if sw.status >= 500 {
+			level = slog.LevelWarn
+		}
+		if !s.log.Enabled(r.Context(), level) {
+			return
+		}
+		attrs := []any{
+			slog.Int64("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Float64("durMs", float64(dur)/float64(time.Millisecond)),
+		}
+		if hits, misses := rec.Count(telemetry.StageCacheHit), rec.Count(telemetry.StageCacheMiss); hits+misses > 0 {
+			attrs = append(attrs, slog.Int64("cacheHits", hits), slog.Int64("cacheMisses", misses))
+		}
+		if stages := rec.Summary(); stages != "" {
+			attrs = append(attrs, slog.String("stages", stages))
+		}
+		s.log.Log(r.Context(), level, "request", attrs...)
+	}
 }
 
 // Handler returns the root handler (also useful under httptest).

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -224,17 +227,27 @@ func TestIntrospectionEndpoints(t *testing.T) {
 		t.Fatalf("/healthz = %+v", health)
 	}
 
-	// /metrics must be one valid JSON object holding the server counters.
-	var metrics map[string]json.RawMessage
+	// /metrics must be one valid JSON object holding the server registry.
+	var metrics struct {
+		Server struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		} `json:"server"`
+		Runtime struct {
+			Goroutines int64 `json:"goroutines"`
+		} `json:"runtime"`
+	}
 	if rec := getJSON(t, s.Handler(), "/metrics", &metrics); rec.Code != http.StatusOK {
 		t.Fatalf("/metrics: status %d", rec.Code)
 	}
-	var counters map[string]int64
-	if err := json.Unmarshal(metrics["server"], &counters); err != nil {
-		t.Fatalf("/metrics server block: %v", err)
+	if _, ok := metrics.Server.Counters["requests"]; !ok {
+		t.Fatalf("/metrics server block lacks request counter: %v", metrics.Server.Counters)
 	}
-	if _, ok := counters["requests"]; !ok {
-		t.Fatalf("/metrics server block lacks request counter: %v", counters)
+	if _, ok := metrics.Server.Gauges["cache_hits"]; !ok {
+		t.Fatalf("/metrics server block lacks cache gauges: %v", metrics.Server.Gauges)
+	}
+	if metrics.Runtime.Goroutines <= 0 {
+		t.Fatalf("/metrics runtime block reports %d goroutines", metrics.Runtime.Goroutines)
 	}
 }
 
@@ -397,5 +410,103 @@ func TestConfigValidation(t *testing.T) {
 	s := newTestServer(t, Config{})
 	if s.cfg.MaxInFlight <= 0 || s.cfg.RequestTimeout <= 0 || s.cfg.DrainTimeout <= 0 || s.cfg.CacheSize <= 0 {
 		t.Fatalf("defaults not filled: %+v", s.cfg)
+	}
+}
+
+// The observability acceptance criterion, end to end: after real queries,
+// /metrics must expose the snapshot-cache counters as registry gauges
+// (including singleflight shares) and per-stage latency histograms with
+// plausible quantiles for at least graph build, search and cache lookups.
+func TestMetricsExposeCacheAndStageHistograms(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	url := q("/v1/path", "src", sim.CityName(sim.Pairs[0].Src), "dst", sim.CityName(sim.Pairs[0].Dst))
+	for i := 0; i < 3; i++ { // 1 miss+build, then hits
+		if rec := getJSON(t, s.Handler(), url, nil); rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+	}
+
+	var metrics struct {
+		Server struct {
+			Gauges     map[string]int64 `json:"gauges"`
+			Histograms map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"histograms"`
+		} `json:"server"`
+		Stages map[string]struct {
+			Count int64   `json:"count"`
+			P50Ms float64 `json:"p50Ms"`
+			P99Ms float64 `json:"p99Ms"`
+		} `json:"stages"`
+	}
+	if rec := getJSON(t, s.Handler(), "/metrics", &metrics); rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+
+	g := metrics.Server.Gauges
+	if g["cache_hits"] < 2 || g["cache_builds"] < 1 {
+		t.Errorf("cache gauges: hits=%d builds=%d, want ≥2 hits and ≥1 build", g["cache_hits"], g["cache_builds"])
+	}
+	if shares, ok := g["cache_singleflight_shares"]; !ok || shares < 0 {
+		t.Errorf("cache_singleflight_shares = %d, ok=%v", shares, ok)
+	}
+	if g["cache_resident"] < 1 {
+		t.Errorf("cache_resident = %d, want ≥ 1", g["cache_resident"])
+	}
+	if h, ok := metrics.Server.Histograms["http_path_ms"]; !ok || h.Count < 3 {
+		t.Errorf("http_path_ms histogram = %+v, want count ≥ 3", h)
+	}
+	// The stage histograms are process-global, so counts include other
+	// tests' work — assert presence and sane quantiles, not exact counts.
+	for _, stage := range []string{"graph_build", "search", "cache_hit", "cache_miss"} {
+		st, ok := metrics.Stages[stage]
+		if !ok || st.Count < 1 {
+			t.Errorf("stage %q missing from /metrics (got %v)", stage, metrics.Stages)
+			continue
+		}
+		if st.P50Ms < 0 || st.P99Ms < st.P50Ms {
+			t.Errorf("stage %q quantiles implausible: %+v", stage, st)
+		}
+	}
+}
+
+// Every request must produce one structured log line carrying the request
+// id, route, status, duration and the cache outcome.
+func TestRequestLogging(t *testing.T) {
+	sim := serverSim(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	s := newTestServer(t, Config{Logger: logger})
+	url := q("/v1/path", "src", sim.CityName(sim.Pairs[0].Src), "dst", sim.CityName(sim.Pairs[0].Dst))
+	if rec := getJSON(t, s.Handler(), url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, rec.Code)
+	}
+
+	var line struct {
+		Msg    string  `json:"msg"`
+		ID     int64   `json:"id"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		DurMs  float64 `json:"durMs"`
+		Stages string  `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("request log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line.Msg != "request" || line.ID < 1 || line.Method != "GET" ||
+		line.Path != "/v1/path" || line.Status != http.StatusOK || line.DurMs < 0 {
+		t.Fatalf("request log line incomplete: %+v", line)
+	}
+	if line.Stages == "" || !strings.Contains(line.Stages, "cache_miss") {
+		t.Errorf("request log lacks stage breakdown: %q", line.Stages)
+	}
+
+	// Introspection endpoints log at debug — silent at the info level.
+	buf.Reset()
+	getJSON(t, s.Handler(), "/healthz", nil)
+	if buf.Len() != 0 {
+		t.Errorf("healthz logged at info level: %s", buf.String())
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"leosim/internal/graph"
+	"leosim/internal/telemetry"
 )
 
 // Key identifies one snapshot graph. Two Gets with equal keys always share
@@ -145,6 +146,9 @@ func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The span's stage is classified at the end — the lookup's outcome (hit,
+	// singleflight wait, or leader miss) is not known at entry.
+	sp := telemetry.StartSpan(ctx, telemetry.StageCacheHit)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl {
@@ -155,6 +159,7 @@ func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
 			c.lru.MoveToFront(e.elem)
 			c.hits.Add(1)
 			c.mu.Unlock()
+			sp.EndAs(telemetry.StageCacheHit)
 			return e.n, nil
 		}
 	}
@@ -162,6 +167,7 @@ func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
 	if cl, ok := c.inflight[key]; ok {
 		// Someone else is already building this snapshot; wait for them.
 		c.mu.Unlock()
+		defer sp.EndAs(telemetry.StageCacheWait)
 		select {
 		case <-cl.done:
 			return cl.n, cl.err
@@ -189,6 +195,7 @@ func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
 		c.finish(key, cl)
 	}()
 
+	defer sp.EndAs(telemetry.StageCacheMiss)
 	select {
 	case <-cl.done:
 		return cl.n, cl.err

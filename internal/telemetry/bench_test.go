@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The disabled span path is the contract the routing kernel depends on:
+// one atomic load, no allocation, single-digit nanoseconds.
+func BenchmarkSpanDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartStageSpan(StageSearch)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartStageSpan(StageSearch)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabledWithRecorder(b *testing.B) {
+	Enable()
+	defer Disable()
+	ctx := WithRecorder(context.Background(), NewRecorder())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx, StageSearch)
+		sp.End()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Histogram quantiles must agree with an exact sorted-sample reference to
+// within one bucket (the power-of-two grid guarantees a factor-of-two
+// worst case; we assert the estimate lands inside the bucket containing
+// the true quantile).
+func TestHistogramQuantileVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []struct {
+		name string
+		draw func() time.Duration
+	}{
+		{"uniform", func() time.Duration {
+			return time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		}},
+		{"lognormal", func() time.Duration {
+			return time.Duration(math.Exp(rng.NormFloat64()*1.5+12)) * time.Nanosecond
+		}},
+		{"bimodal", func() time.Duration {
+			if rng.Intn(10) == 0 {
+				return time.Duration(1+rng.Int63n(100)) * time.Millisecond
+			}
+			return time.Duration(1+rng.Int63n(200)) * time.Microsecond
+		}},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			h := &Histogram{}
+			samples := make([]float64, 0, 10000)
+			for i := 0; i < 10000; i++ {
+				d := dist.draw()
+				h.Observe(d)
+				samples = append(samples, float64(d))
+			}
+			sort.Float64s(samples)
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				exact := samples[int(q*float64(len(samples)-1))]
+				est := h.Quantile(q)
+				// Bucket bounds containing the exact quantile.
+				lo, hi := bucketBoundsOf(exact)
+				if est < lo || est > hi {
+					t.Errorf("q=%.2f: estimate %.0fns outside bucket [%.0f, %.0f] of exact %.0fns",
+						q, est, lo, hi, exact)
+				}
+			}
+			if c := h.Count(); c != 10000 {
+				t.Errorf("Count = %d, want 10000", c)
+			}
+		})
+	}
+}
+
+// bucketBoundsOf returns the histogram bucket bounds (ns) holding value ns.
+func bucketBoundsOf(ns float64) (lo, hi float64) {
+	for i := 0; i < numBuckets; i++ {
+		hi = float64(bucketUpperNs(i))
+		if ns < hi || i == numBuckets-1 {
+			return lo, hi
+		}
+		lo = hi
+	}
+	return lo, hi
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.P99Ms != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	// One 3 ms observation: every quantile must land in its bucket [2,4)ms.
+	for _, q := range []float64{s.P50Ms, s.P90Ms, s.P99Ms} {
+		if q < 2 || q >= 4 {
+			t.Errorf("quantile %v ms outside the 3 ms observation's bucket", q)
+		}
+	}
+	if s.MaxMs != 3 {
+		t.Errorf("MaxMs = %v, want 3", s.MaxMs)
+	}
+}
+
+// Concurrent observers must neither race (run under -race) nor lose counts.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c := h.Count(); c != workers*per {
+		t.Errorf("Count = %d, want %d", c, workers*per)
+	}
+	if max := h.Snapshot().MaxMs; max > 10 {
+		t.Errorf("MaxMs = %v, want ≤ 10", max)
+	}
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress emits rate-limited progress/ETA lines for a sweep with a known
+// number of steps (snapshots of a day-long run, fractions of a fault
+// sweep). A nil *Progress is a valid no-op, so callers write
+//
+//	prog := telemetry.NewProgress(w, "fig2a", len(times))
+//	...
+//	prog.Step(1)
+//	...
+//	prog.Finish()
+//
+// and pass w == nil to silence the whole thing.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int
+	done     int
+	start    time.Time
+	interval time.Duration
+	lastEmit time.Time
+	finished bool
+	now      func() time.Time // injectable clock (tests)
+}
+
+// NewProgress starts a progress report of total steps written to w; a nil
+// writer (or non-positive total) returns nil, which every method accepts.
+// Lines are throttled to one per second, plus a final line from Finish.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	if w == nil || total <= 0 {
+		return nil
+	}
+	return &Progress{
+		w: w, label: label, total: total,
+		start: time.Now(), interval: time.Second,
+		now: time.Now,
+	}
+}
+
+// Step advances the done count by n, emitting a progress/ETA line when the
+// throttle interval has passed (or on the final step).
+func (p *Progress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+	if p.done > p.total {
+		p.done = p.total
+	}
+	now := p.now()
+	if p.done < p.total && now.Sub(p.lastEmit) < p.interval {
+		return
+	}
+	p.lastEmit = now
+	p.emit(now)
+}
+
+// Finish emits the final line unless the last Step already did (the sweep
+// completed); safe to defer unconditionally, including on partial runs.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	p.emit(p.now())
+}
+
+// emit writes one "label 12/96 (12%) elapsed 31s eta 3m42s" line; callers
+// hold p.mu.
+func (p *Progress) emit(now time.Time) {
+	if p.done == p.total {
+		p.finished = true
+	}
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("%s %d/%d (%.0f%%) elapsed %s",
+		p.label, p.done, p.total,
+		100*float64(p.done)/float64(p.total),
+		elapsed.Round(time.Second))
+	if p.done > 0 && p.done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Counters, gauges and histograms must tolerate concurrent registration
+// and update (run under -race) without losing increments.
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				reg.Counter("requests").Inc()
+				reg.Gauge("inflight").Add(1)
+				reg.Histogram("latency").Observe(time.Microsecond)
+				reg.Gauge("inflight").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("requests").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := reg.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := reg.Histogram("latency").Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests").Add(7)
+	reg.Gauge("inflight").Set(2)
+	reg.RegisterGaugeFunc("cache_hits", func() int64 { return 41 })
+	reg.Histogram("http_request").Observe(5 * time.Millisecond)
+	reg.StageHistogram(StageSearch).Observe(time.Millisecond)
+
+	snap := reg.Snapshot()
+	if snap.Counters["requests"] != 7 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["inflight"] != 2 || snap.Gauges["cache_hits"] != 41 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	if snap.Histograms["http_request"].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+	if snap.Stages["search"].Count != 1 {
+		t.Errorf("stages = %v", snap.Stages)
+	}
+	// Empty stages must be omitted, and the whole snapshot must marshal.
+	if _, ok := snap.Stages["maxmin_alloc"]; ok {
+		t.Error("empty stage appeared in snapshot")
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	for _, want := range []string{`"search"`, `"p50Ms"`, `"cache_hits"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("snapshot JSON lacks %s: %s", want, buf.String())
+		}
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	rs := SampleRuntime()
+	if rs.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", rs.Goroutines)
+	}
+	if rs.HeapLiveBytes <= 0 {
+		t.Errorf("heap = %d, want > 0", rs.HeapLiveBytes)
+	}
+	if rs.GCPauseP50Ms < 0 || rs.GCPauseMaxMs < rs.GCPauseP50Ms {
+		t.Errorf("gc pauses p50=%v max=%v inconsistent", rs.GCPauseP50Ms, rs.GCPauseMaxMs)
+	}
+}
+
+func TestProgressLinesAndETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep", 4)
+	if p == nil {
+		t.Fatal("NewProgress returned nil for a live writer")
+	}
+	p.interval = 0 // no throttling in the test
+	p.Step(1)
+	p.Step(1)
+	p.Step(2)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "sweep 1/4 (25%)") || !strings.Contains(lines[0], "eta") {
+		t.Errorf("first line %q lacks progress/eta", lines[0])
+	}
+	if !strings.Contains(lines[2], "4/4 (100%)") || strings.Contains(lines[2], "eta") {
+		t.Errorf("final line %q should be complete without eta", lines[2])
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Step(1) // must not panic
+	p.Finish()
+	if NewProgress(nil, "x", 10) != nil {
+		t.Error("nil writer should yield nil Progress")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"leosim/internal/ground"
 	"leosim/internal/itur"
 	"leosim/internal/stats"
+	"leosim/internal/telemetry"
 )
 
 // Connectivity modes and constellation choices.
@@ -310,4 +311,26 @@ func SnapshotAt(offset time.Duration) time.Time { return geo.Epoch.Add(offset) }
 
 // SetProgress directs coarse progress lines from long-running experiment
 // phases (thousands of routed pairs at full scale) to w; nil silences them.
+// Snapshot-sweep experiments additionally emit throttled progress/ETA lines
+// to the same writer.
 func SetProgress(w io.Writer) { core.Progress = w }
+
+// TelemetryRecorder accumulates per-run stage timings (graph build, search,
+// allocation, …) when attached to the run's context.
+type TelemetryRecorder = telemetry.Recorder
+
+// Observability entry points (internal/telemetry).
+var (
+	// EnableTelemetry installs the process-global metrics registry; every
+	// pipeline stage then feeds its latency histogram. Near-zero cost is
+	// paid when disabled (one atomic load per stage).
+	EnableTelemetry = telemetry.Enable
+	// NewTelemetryRecorder creates a per-run stage-time recorder.
+	NewTelemetryRecorder = telemetry.NewRecorder
+	// WithTelemetryRecorder attaches a recorder to a context; Run* calls
+	// under that context attribute their stage times to it.
+	WithTelemetryRecorder = telemetry.WithRecorder
+	// WriteJSONStages is WriteJSONPartial plus the recorder's stage-time
+	// breakdown in the envelope ("stage_times").
+	WriteJSONStages = core.WriteJSONStages
+)

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run the telemetry-overhead benchmarks and record them in
+# BENCH_telemetry.json.
+#
+# usage: scripts/bench_telemetry.sh [label]
+#
+# The label names the run inside the trajectory file (default "current");
+# rerunning with the same label replaces that run in place. The recorded set
+# proves the observability layer's cost model: the span fast path when
+# telemetry is disabled (one atomic load, no allocation), the enabled path
+# (histogram observe), the recorder path, and the routing kernel with and
+# without telemetry — BenchmarkSearch must stay within noise of the kernel
+# baselines in BENCH_routing.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-current}"
+PATTERN='^(BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkSpanEnabledWithRecorder|BenchmarkHistogramObserve|BenchmarkSearch|BenchmarkSearchTelemetryEnabled)$'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
+	./internal/telemetry ./internal/graph |
+	go run ./scripts/benchjson -label "$LABEL" -out BENCH_telemetry.json
