@@ -93,6 +93,19 @@ func New(shells []Shell, opts ...Option) (*Constellation, error) {
 	return c, nil
 }
 
+// Analytic reports whether every satellite uses the analytic (J2-secular
+// Kepler) propagator, under which circular-orbit radii are exact and the
+// invariant checker can hold ISL geometry to closed-form values. SGP4
+// constellations get looser tolerance bounds instead.
+func (c *Constellation) Analytic() bool {
+	for _, s := range c.Sats {
+		if _, ok := s.Prop.(*orbit.KeplerPropagator); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 func sgp4For(el orbit.Elements, epoch time.Time) (*orbit.SGP4, error) {
 	n := 86400 / (2 * 3.141592653589793) * el.MeanMotion()
 	tle := orbit.TLE{

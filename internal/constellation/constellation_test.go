@@ -236,20 +236,20 @@ func TestShellTLEs(t *testing.T) {
 	}
 }
 
-func TestChordMinAltitude(t *testing.T) {
+func TestSegmentMinAltitude(t *testing.T) {
 	// Two satellites on opposite sides: the chord passes through the Earth.
 	a := geo.LatLon{Lat: 0, Lon: 0, Alt: 550}.ToECEF()
 	b := geo.LatLon{Lat: 0, Lon: 180, Alt: 550}.ToECEF()
-	if alt := chordMinAltitude(a, b); alt > -6000 {
+	if alt := geo.SegmentMinAltitudeKm(a, b); alt > -6000 {
 		t.Errorf("antipodal chord min altitude = %v, want ≈ −6371", alt)
 	}
 	// Adjacent satellites: chord stays near orbital altitude.
 	c := geo.LatLon{Lat: 0, Lon: 5, Alt: 550}.ToECEF()
-	if alt := chordMinAltitude(a, c); alt < 500 || alt > 551 {
+	if alt := geo.SegmentMinAltitudeKm(a, c); alt < 500 || alt > 551 {
 		t.Errorf("neighbor chord min altitude = %v", alt)
 	}
 	// Degenerate: both endpoints equal.
-	if alt := chordMinAltitude(a, a); !almostEq(alt, 550, 1e-6) {
+	if alt := geo.SegmentMinAltitudeKm(a, a); !almostEq(alt, 550, 1e-6) {
 		t.Errorf("degenerate chord altitude = %v", alt)
 	}
 }
@@ -290,7 +290,7 @@ func TestISLLengthAndAltitudeHelpers(t *testing.T) {
 	// chords near the surface (45° spacing); only consistency with the
 	// chord helper is asserted here — the ≥80 km atmosphere constraint is
 	// checked on the real Starlink shell in TestStarlinkISLGeometry.
-	if a := ISLMinAltitudeKm(s, l); !almostEq(a, chordMinAltitude(s.Pos[l.A], s.Pos[l.B]), 1e-9) {
-		t.Errorf("ISLMinAltitudeKm inconsistent with chordMinAltitude")
+	if a := ISLMinAltitudeKm(s, l); !almostEq(a, geo.SegmentMinAltitudeKm(s.Pos[l.A], s.Pos[l.B]), 1e-9) {
+		t.Errorf("ISLMinAltitudeKm inconsistent with geo.SegmentMinAltitudeKm")
 	}
 }

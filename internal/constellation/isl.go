@@ -85,26 +85,7 @@ func ISLLengthKm(s Snapshot, l ISL) float64 {
 // surface reached by the straight-line link l at snapshot s. ISLs must stay
 // above the lower atmosphere (~80 km, §2) to be unaffected by weather.
 func ISLMinAltitudeKm(s Snapshot, l ISL) float64 {
-	return chordMinAltitude(s.Pos[l.A], s.Pos[l.B])
-}
-
-// chordMinAltitude computes the minimum distance from the Earth's center to
-// the segment a-b, minus the Earth radius.
-func chordMinAltitude(a, b geo.Vec3) float64 {
-	ab := b.Sub(a)
-	den := ab.Norm2()
-	if den == 0 {
-		return a.Norm() - geo.EarthRadius
-	}
-	// Parameter of the closest point on the infinite line to the origin.
-	t := -a.Dot(ab) / den
-	if t < 0 {
-		t = 0
-	} else if t > 1 {
-		t = 1
-	}
-	closest := a.Add(ab.Scale(t))
-	return closest.Norm() - geo.EarthRadius
+	return geo.SegmentMinAltitudeKm(s.Pos[l.A], s.Pos[l.B])
 }
 
 // ISLStats summarizes the geometry of a constellation's ISLs at an instant.

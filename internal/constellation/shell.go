@@ -39,6 +39,12 @@ type Shell struct {
 	// spread over: 360 for a Walker delta (inclined shells like Starlink
 	// and Kuiper), 180 for a polar star configuration.
 	RAANSpreadDeg float64
+	// RAANOffsetDeg rotates the whole shell about the Earth's axis: plane p
+	// gets RAAN = RAANOffsetDeg + p·RAANSpreadDeg/Planes. Zero (the
+	// default) reproduces the historical layout; the invariant suite uses
+	// it to verify that rotating the entire system leaves the physics
+	// unchanged.
+	RAANOffsetDeg float64
 	// MinElevationDeg is the minimum elevation angle at which ground
 	// terminals can communicate with satellites of this shell.
 	MinElevationDeg float64
@@ -96,7 +102,7 @@ type Satellite struct {
 // elements computes the Keplerian elements of satellite (plane, slot) in the
 // shell at the given epoch.
 func (s Shell) elements(plane, slot int, epoch time.Time) orbit.Elements {
-	raan := s.RAANSpreadDeg / float64(s.Planes) * float64(plane)
+	raan := s.RAANOffsetDeg + s.RAANSpreadDeg/float64(s.Planes)*float64(plane)
 	slotSpacing := 360.0 / float64(s.SatsPerPlane)
 	ma := slotSpacing*float64(slot) +
 		float64(s.WalkerF)*360.0/float64(s.Size())*float64(plane)

@@ -207,6 +207,88 @@ func Sum(alloc []float64) float64 {
 	return s
 }
 
+// MaxMinViolation is one breach of the max-min optimality conditions found
+// by VerifyMaxMin.
+type MaxMinViolation struct {
+	// Kind is "shape", "oversubscription" or "no-bottleneck".
+	Kind string
+	// Detail is a human-readable description of the breach.
+	Detail string
+}
+
+// VerifyMaxMin checks an allocation against the two conditions that exactly
+// characterize the max-min fair solution for fixed single-path flows
+// [Bertsekas & Gallager, §6.5.2]:
+//
+//  1. Feasibility: no directed edge carries more than its capacity.
+//  2. Bottleneck condition: every flow with a non-empty path crosses at
+//     least one saturated edge on which its rate is maximal among the flows
+//     crossing that edge — i.e. the flow cannot be increased without
+//     decreasing a flow of smaller-or-equal rate.
+//
+// It is an independent oracle for MaxMinFair (and a detector for
+// under-allocating approximations like BottleneckApprox): it never runs the
+// progressive-filling algorithm, only checks its defining property. tol
+// absorbs floating-point noise in both saturation and rate comparisons.
+// Returns nil when the allocation is exactly max-min fair.
+func (p *Problem) VerifyMaxMin(alloc []float64, tol float64) []MaxMinViolation {
+	var out []MaxMinViolation
+	if len(alloc) != len(p.flowEdges) {
+		return append(out, MaxMinViolation{Kind: "shape",
+			Detail: fmt.Sprintf("allocation length %d, want %d flows", len(alloc), len(p.flowEdges))})
+	}
+	for fi, a := range alloc {
+		if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+			out = append(out, MaxMinViolation{Kind: "shape",
+				Detail: fmt.Sprintf("flow %d has non-physical rate %v", fi, a)})
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+
+	// Directed-edge load and the maximum rate crossing each edge.
+	used := make([]float64, len(p.cap))
+	maxOn := make([]float64, len(p.cap))
+	for fi, edges := range p.flowEdges {
+		seen := map[int32]bool{}
+		for _, e := range edges {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			used[e] += alloc[fi]
+			if alloc[fi] > maxOn[e] {
+				maxOn[e] = alloc[fi]
+			}
+		}
+	}
+	for e, u := range used {
+		if u > p.cap[e]+tol {
+			out = append(out, MaxMinViolation{Kind: "oversubscription",
+				Detail: fmt.Sprintf("edge %d carries %v over capacity %v", e, u, p.cap[e])})
+		}
+	}
+	for fi, edges := range p.flowEdges {
+		if len(edges) == 0 {
+			continue // pathless flows carry nothing by convention
+		}
+		bottlenecked := false
+		for _, e := range edges {
+			saturated := used[e] >= p.cap[e]-tol
+			if saturated && alloc[fi] >= maxOn[e]-tol {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			out = append(out, MaxMinViolation{Kind: "no-bottleneck",
+				Detail: fmt.Sprintf("flow %d at rate %v has no saturated edge where it is maximal (rate could grow)", fi, alloc[fi])})
+		}
+	}
+	return out
+}
+
 // Validate checks an allocation against capacities: no directed edge may be
 // oversubscribed beyond tol. Used by tests and as a debugging guard.
 func (p *Problem) Validate(alloc []float64, tol float64) error {

@@ -133,3 +133,82 @@ func SlantRange(altKm, elevDeg float64) float64 {
 // satellite at altKm with minimum elevation elevDeg. It is the slant range at
 // exactly the minimum elevation.
 func MaxGSLLength(altKm, elevDeg float64) float64 { return SlantRange(altKm, elevDeg) }
+
+// MaxSlantRange returns the largest possible distance between a terminal at
+// geocentric radius rTermKm and a satellite at geocentric radius rSatKm seen
+// at elevation ≥ elevDeg. It generalizes MaxGSLLength to elevated terminals
+// (aircraft relays): by the law of cosines in the center/terminal/satellite
+// triangle, the range at elevation e is
+//
+//	d(e) = sqrt(rSat² − rTerm²·cos²e) − rTerm·sin e,
+//
+// which is strictly decreasing in e, so d(elevDeg) bounds every feasible
+// link. Returns 0 when the satellite is below the terminal's horizon cone
+// entirely (rSat < rTerm).
+func MaxSlantRange(rTermKm, rSatKm, elevDeg float64) float64 {
+	if rSatKm <= rTermKm {
+		return 0
+	}
+	e := elevDeg * Deg
+	cosE, sinE := math.Cos(e), math.Sin(e)
+	disc := rSatKm*rSatKm - rTermKm*rTermKm*cosE*cosE
+	if disc <= 0 {
+		return 0
+	}
+	return math.Sqrt(disc) - rTermKm*sinE
+}
+
+// SegmentMinAltitudeKm returns the minimum altitude above the (spherical)
+// Earth surface reached by the straight-line segment a–b (ECEF, km).
+// Negative values mean the segment cuts through the Earth.
+func SegmentMinAltitudeKm(a, b Vec3) float64 {
+	ab := b.Sub(a)
+	den := ab.Norm2()
+	if den == 0 {
+		return a.Norm() - EarthRadius
+	}
+	// Parameter of the closest point on the infinite line to the origin,
+	// clamped to the segment.
+	t := -a.Dot(ab) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return a.Add(ab.Scale(t)).Norm() - EarthRadius
+}
+
+// MinFreeSpacePathKm returns the length of the shortest curve from a to b
+// (ECEF, km) that stays outside the Earth sphere — the "taut string" pulled
+// tight around the planet. If the straight segment clears the surface this is
+// simply the chord |a−b|; otherwise it is the two tangent segments plus the
+// great-circle arc wrapped around the limb:
+//
+//	L = sqrt(ra²−R²) + sqrt(rb²−R²) + R·(ψ − acos(R/ra) − acos(R/rb)),
+//
+// with ψ the Earth-central angle between a and b. For two surface points it
+// degenerates to the great-circle distance. No physical signal path between
+// a and b can be shorter, which makes L/c a hard lower bound on one-way
+// propagation delay — the oracle the invariant checker uses.
+func MinFreeSpacePathKm(a, b Vec3) float64 {
+	chord := a.Distance(b)
+	if SegmentMinAltitudeKm(a, b) >= 0 {
+		return chord
+	}
+	ra, rb := a.Norm(), b.Norm()
+	if ra < EarthRadius {
+		ra = EarthRadius // endpoints can sit on (never below) the surface
+	}
+	if rb < EarthRadius {
+		rb = EarthRadius
+	}
+	psi := a.AngleTo(b)
+	wrap := psi - math.Acos(EarthRadius/ra) - math.Acos(EarthRadius/rb)
+	if wrap < 0 {
+		// Grazing geometry where floating point disagrees with the segment
+		// test: the chord is always a valid lower bound.
+		return chord
+	}
+	return math.Sqrt(ra*ra-EarthRadius*EarthRadius) +
+		math.Sqrt(rb*rb-EarthRadius*EarthRadius) + EarthRadius*wrap
+}

@@ -1,0 +1,128 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the geometry oracles the invariant checker (internal/check)
+// leans on. Each has a closed-form special case to pin the formula and a
+// randomized property to pin the inequalities.
+
+func TestMaxSlantRangeClosedForms(t *testing.T) {
+	rT, rS := EarthRadius, EarthRadius+550.0
+	// Zenith: the range is exactly the altitude.
+	if got, want := MaxSlantRange(rT, rS, 90), rS-rT; math.Abs(got-want) > 1e-9 {
+		t.Errorf("zenith range %v, want %v", got, want)
+	}
+	// Horizon: the tangent-triangle hypotenuse leg.
+	if got, want := MaxSlantRange(rT, rS, 0), math.Sqrt(rS*rS-rT*rT); math.Abs(got-want) > 1e-9 {
+		t.Errorf("horizon range %v, want %v", got, want)
+	}
+	// Degenerate: satellite not above the terminal shell.
+	if got := MaxSlantRange(rT, rT, 25); got != 0 {
+		t.Errorf("co-radial range %v, want 0", got)
+	}
+}
+
+func TestMaxSlantRangeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		rT := EarthRadius + 20*r.Float64()
+		rS := EarthRadius + 300 + 1500*r.Float64()
+		prev := math.Inf(1)
+		for e := 0.0; e <= 90; e += 7.5 {
+			d := MaxSlantRange(rT, rS, e)
+			if d <= 0 || d > prev {
+				t.Fatalf("rT=%v rS=%v: range %v at elev %v not positive-decreasing (prev %v)",
+					rT, rS, d, e, prev)
+			}
+			// Law of cosines closes the center–terminal–satellite
+			// triangle: the point at range d and elevation e sits at
+			// radius rS exactly.
+			back := math.Sqrt(rT*rT + d*d + 2*rT*d*math.Sin(e*Deg))
+			if math.Abs(back-rS) > 1e-6 {
+				t.Fatalf("triangle does not close: %v vs %v", back, rS)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestSegmentMinAltitude(t *testing.T) {
+	up := func(lat, lon, altKm float64) Vec3 {
+		return LL(lat, lon).ToECEF().Unit().Scale(EarthRadius + altKm)
+	}
+	// Antipodal satellites: the chord runs through the planet's center.
+	a, b := up(0, 0, 550), up(0, 180, 550)
+	if got := SegmentMinAltitudeKm(a, b); math.Abs(got-(-EarthRadius)) > 1e-6 {
+		t.Errorf("antipodal min altitude %v, want %v", got, -EarthRadius)
+	}
+	// Nearby satellites: the closest approach is at an endpoint.
+	a, b = up(10, 20, 550), up(12, 21, 560)
+	if got := SegmentMinAltitudeKm(a, b); math.Abs(got-550) > 1 {
+		t.Errorf("short-chord min altitude %v, want ≈550", got)
+	}
+	// Degenerate zero-length segment.
+	if got := SegmentMinAltitudeKm(a, a); math.Abs(got-550) > 1e-9 {
+		t.Errorf("point min altitude %v, want 550", got)
+	}
+	// Symmetric chord between equal altitudes: sagitta formula
+	// h_min = (R+h)·cos(ψ/2) − R with ψ the central angle.
+	a, b = up(0, -30, 550), up(0, 30, 550)
+	want := (EarthRadius+550)*math.Cos(30*Deg) - EarthRadius
+	if got := SegmentMinAltitudeKm(a, b); math.Abs(got-want) > 1e-6 {
+		t.Errorf("sagitta altitude %v, want %v", got, want)
+	}
+}
+
+func TestMinFreeSpacePath(t *testing.T) {
+	up := func(lat, lon, altKm float64) Vec3 {
+		return LL(lat, lon).ToECEF().Unit().Scale(EarthRadius + altKm)
+	}
+	// Clear chord: exactly the Euclidean distance.
+	a, b := up(0, 0, 550), up(0, 20, 550)
+	if got, want := MinFreeSpacePathKm(a, b), a.Distance(b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("clear path %v, want chord %v", got, want)
+	}
+	// Antipodal surface points: the taut string is the half great circle.
+	a, b = up(0, 0, 0), up(0, 180, 0)
+	if got, want := MinFreeSpacePathKm(a, b), math.Pi*EarthRadius; math.Abs(got-want) > 1e-6 {
+		t.Errorf("antipodal surface path %v, want %v", got, want)
+	}
+	// Occluded satellites: tangent + arc + tangent, computed by hand for
+	// symmetric antipodal satellites at altitude h: each tangent leg is
+	// sqrt((R+h)²−R²) and the wrapped arc spans ψ − 2·acos(R/(R+h)).
+	h := 550.0
+	a, b = up(0, 0, h), up(0, 180, h)
+	leg := math.Sqrt((EarthRadius+h)*(EarthRadius+h) - EarthRadius*EarthRadius)
+	arc := EarthRadius * (math.Pi - 2*math.Acos(EarthRadius/(EarthRadius+h)))
+	if got, want := MinFreeSpacePathKm(a, b), 2*leg+arc; math.Abs(got-want) > 1e-6 {
+		t.Errorf("occluded path %v, want %v", got, want)
+	}
+}
+
+func TestMinFreeSpacePathProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	randPoint := func() Vec3 {
+		return LL(-90+180*r.Float64(), -180+360*r.Float64()).ToECEF().
+			Unit().Scale(EarthRadius + 2000*r.Float64())
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randPoint(), randPoint()
+		l, lr := MinFreeSpacePathKm(a, b), MinFreeSpacePathKm(b, a)
+		if math.Abs(l-lr) > 1e-9*math.Max(1, l) {
+			t.Fatalf("not symmetric: %v vs %v", l, lr)
+		}
+		if chord := a.Distance(b); l < chord-1e-9 {
+			t.Fatalf("shorter than the chord: %v vs %v", l, chord)
+		}
+		// Triangle inequality through a random waypoint: detouring can
+		// never beat the taut string.
+		w := randPoint()
+		if via := MinFreeSpacePathKm(a, w) + MinFreeSpacePathKm(w, b); via < l-1e-9 {
+			t.Fatalf("detour via %v beats direct: %v vs %v", w, via, l)
+		}
+	}
+}
