@@ -1,0 +1,51 @@
+package check
+
+import (
+	"math"
+
+	"leosim/internal/graph"
+)
+
+// NaiveShortestMs is the reference shortest-path oracle: a textbook O(V²+E)
+// Dijkstra with linear-scan minimum selection over the network's public
+// adjacency, sharing none of the optimized kernel's machinery (no CSR walk,
+// no heap, no pooled state, no stamping). satTransitOnly reproduces the §6
+// transit restriction: ground-side nodes other than src never forward.
+// Returns the one-way delay in ms and whether dst is reachable.
+func NaiveShortestMs(n *graph.Network, src, dst int32, satTransitOnly bool) (float64, bool) {
+	nn := n.N()
+	dist := make([]float64, nn)
+	done := make([]bool, nn)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		u := int32(-1)
+		best := math.Inf(1)
+		for v := int32(0); v < int32(nn); v++ {
+			if !done[v] && dist[v] < best {
+				best, u = dist[v], v
+			}
+		}
+		if u < 0 {
+			break // nothing reachable left
+		}
+		done[u] = true
+		if u == dst {
+			return dist[u], true
+		}
+		if satTransitOnly && u != src && n.IsGroundSide(u) {
+			continue // may terminate a path, never forwards
+		}
+		for _, e := range n.Edges(u) {
+			if nd := dist[u] + n.Links[e.Link].OneWayMs; nd < dist[e.To] {
+				dist[e.To] = nd
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return 0, false
+	}
+	return dist[dst], true
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunCheckCleanReferenceScenarios is the "no violations" acceptance
+// test: the invariant sweep must come back clean on both reference
+// constellations. Anything it flags here is a real bug in the pipeline (or
+// in a checker — either way it must not ship).
+func TestRunCheckCleanReferenceScenarios(t *testing.T) {
+	for _, choice := range []ConstellationChoice{Starlink, Kuiper} {
+		s, err := NewSim(choice, TinyScale())
+		if err != nil {
+			t.Fatalf("%v: %v", choice, err)
+		}
+		rep, err := RunCheck(context.Background(), s, CheckOptions{Snapshots: 2})
+		if err != nil {
+			t.Fatalf("%v: RunCheck: %v", choice, err)
+		}
+		if !rep.OK() {
+			for _, v := range rep.Violations() {
+				t.Errorf("%v: [%s %s/%s] %s", choice, v.Class, v.Snapshot, v.Mode, v.Detail)
+			}
+			t.Fatalf("%v: %s", choice, rep.Summary())
+		}
+		for _, counter := range []string{"gsl-links", "isl-links", "paths",
+			"symmetry-pairs", "dominance-pairs", "optimality-pairs", "flow-allocations"} {
+			if rep.CheckedCount(counter) == 0 {
+				t.Errorf("%v: coverage counter %q is zero — check did not run", choice, counter)
+			}
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", choice, err)
+		}
+		var decoded struct {
+			OK bool `json:"ok"`
+		}
+		if err := json.Unmarshal(raw, &decoded); err != nil || !decoded.OK {
+			t.Fatalf("%v: bad report JSON: %v (%s)", choice, err, raw)
+		}
+	}
+}
+
+// TestRunCheckHonorsCancellation verifies the sweep aborts between
+// snapshots when the context dies.
+func TestRunCheckHonorsCancellation(t *testing.T) {
+	s, err := NewSim(Starlink, TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCheck(ctx, s, CheckOptions{}); err == nil {
+		t.Fatal("cancelled RunCheck returned nil error")
+	}
+}
+
+// TestRunCheckSGP4 exercises the loosened-tolerance path: the SGP4 ablation
+// must also sweep clean (its radii and ISL lengths wobble, and the checker's
+// bounds are widened to admit exactly that).
+func TestRunCheckSGP4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SGP4 propagation is slow")
+	}
+	s, err := NewSim(Starlink, TinyScale(), WithSGP4Propagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCheck(context.Background(), s, CheckOptions{
+		Snapshots: 1, PairSample: 8, OptimalitySample: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations() {
+			t.Errorf("[%s %s/%s] %s", v.Class, v.Snapshot, v.Mode, v.Detail)
+		}
+		t.Fatalf("SGP4 sweep: %s", rep.Summary())
+	}
+}

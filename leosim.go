@@ -32,6 +32,7 @@ import (
 	"io"
 	"time"
 
+	"leosim/internal/check"
 	"leosim/internal/constellation"
 	"leosim/internal/core"
 	"leosim/internal/fault"
@@ -146,6 +147,13 @@ type (
 	LatLon = geo.LatLon
 	// SimOption tweaks simulation construction.
 	SimOption = core.SimOption
+	// CheckOptions sizes an invariant-checking sweep (RunCheck).
+	CheckOptions = core.CheckOptions
+	// CheckReport carries the outcome of an invariant sweep: per-class
+	// violation counts, capped samples, and coverage counters.
+	CheckReport = check.Report
+	// CheckViolation is one sampled invariant violation.
+	CheckViolation = check.Violation
 )
 
 // Experiment sizing presets.
@@ -239,6 +247,10 @@ var (
 	FaultScenarios = fault.Scenarios
 	// ForFaultScenario builds the plan failing a fraction of one resource.
 	ForFaultScenario = fault.ForScenario
+	// RunCheck sweeps the invariant-validation suite over a sim: graph
+	// physics, path optimality/symmetry/dominance, and max-min optimality
+	// conditions. Backs `leosim check`.
+	RunCheck = core.RunCheck
 )
 
 // Report writers (text renderings of each figure/table).
