@@ -1,0 +1,94 @@
+// The check subcommand runs the invariant-validation sweep (internal/check)
+// against a reference scenario and reports violations as structured JSON on
+// stdout. Exit status is nonzero when any invariant fails, so CI can gate on
+// it directly:
+//
+//	leosim check -scenario starlink -snapshots 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"leosim"
+)
+
+// errViolations distinguishes "the sweep found violations" (report printed,
+// exit 1) from operational failures (bad flags, cancelled run).
+var errViolations = fmt.Errorf("invariant violations found")
+
+func runCheck(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("leosim check", flag.ContinueOnError)
+	scenName := fs.String("scenario", "starlink", "reference scenario: starlink|kuiper")
+	scaleName := fs.String("scale", "tiny", "scenario scale: tiny|reduced|large|full")
+	snapshots := fs.Int("snapshots", 4, "snapshots to sweep (0 = all at this scale)")
+	pairs := fs.Int("pairs", 0, "per-snapshot pair sample for symmetry/dominance checks (0 = default)")
+	optPairs := fs.Int("opt-pairs", 0, "per-snapshot pair sample for the naive-Dijkstra optimality check (0 = default)")
+	sgp4 := fs.Bool("sgp4", false, "propagate with SGP4 instead of the analytic J2 model")
+	verbose := fs.Bool("v", false, "also list violation samples on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: leosim check [flags]\n\nRuns physics/graph/routing/flow invariant checks over snapshot graphs and\nprints a JSON report; exits 1 if any invariant is violated.\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("check takes no positional arguments")
+	}
+
+	choice, err := constellationByName(*scenName)
+	if err != nil {
+		return fmt.Errorf("bad -scenario: %w", err)
+	}
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	var opts []leosim.SimOption
+	if *sgp4 {
+		opts = append(opts, leosim.WithSGP4Propagation())
+	}
+
+	start := time.Now()
+	sim, err := leosim.NewSim(choice, scale, opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := leosim.RunCheck(ctx, sim, leosim.CheckOptions{
+		Snapshots:        *snapshots,
+		PairSample:       *pairs,
+		OptimalitySample: *optPairs,
+	})
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Scenario  string              `json:"scenario"`
+		Scale     string              `json:"scale"`
+		Snapshots int                 `json:"snapshots"`
+		ElapsedMs int64               `json:"elapsedMs"`
+		Report    *leosim.CheckReport `json:"report"`
+	}{*scenName, *scaleName, *snapshots, time.Since(start).Milliseconds(), rep}); err != nil {
+		return err
+	}
+	if !rep.OK() {
+		if *verbose {
+			for _, v := range rep.Violations() {
+				fmt.Fprintf(os.Stderr, "violation [%s %s/%s] %s\n",
+					v.Class, v.Snapshot, v.Mode, v.Detail)
+			}
+		}
+		return fmt.Errorf("%w: %s", errViolations, rep.Summary())
+	}
+	fmt.Fprintln(os.Stderr, "check:", rep.Summary())
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The check subcommand's CLI face: both reference scenarios must sweep clean
+// end-to-end (this is the "leosim check exits 0" acceptance test; the
+// invariant logic itself lives in internal/check and internal/core tests).
+func TestRunCheckCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full check sweep in -short mode")
+	}
+	for _, scen := range []string{"starlink", "kuiper"} {
+		scen := scen
+		t.Run(scen, func(t *testing.T) {
+			args := []string{"check", "-scenario", scen, "-scale", "tiny", "-snapshots", "1"}
+			if err := run(context.Background(), args); err != nil {
+				t.Fatalf("run(%v) = %v, want clean sweep", args, err)
+			}
+		})
+	}
+}
+
+func TestRunCheckErrors(t *testing.T) {
+	cases := [][]string{
+		{"check", "extra"},                  // positional args
+		{"check", "-scenario", "teledesic"}, // unknown scenario
+		{"check", "-scale", "huge"},         // unknown scale
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		} else if errors.Is(err, errViolations) {
+			t.Errorf("run(%v) reported violations, want a usage error: %v", args, err)
+		}
+	}
+}
+
+func TestRunCheckCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"check", "-scale", "tiny", "-snapshots", "1"}); err == nil {
+		t.Fatal("cancelled check should fail")
+	}
+}

@@ -14,6 +14,7 @@
 //	leosim resilience       fault-injection degradation sweep (-fault scenario)
 //	leosim all              everything above
 //	leosim serve            HTTP query service over one sim (see -h for flags)
+//	leosim check            invariant-validation sweep, JSON report, exit 1 on violations
 //
 // Scale is selected with -scale tiny|reduced|large|full; "full" reproduces the
 // paper's sizing (1,000 cities, 5,000 pairs, 0.5° relay grid, 96 snapshots)
@@ -67,7 +68,7 @@ func scaleByName(name string) (leosim.Scale, error) {
 	case "full":
 		return leosim.FullScale(), nil
 	default:
-		return leosim.Scale{}, fmt.Errorf("unknown scale %q", name)
+		return leosim.Scale{}, fmt.Errorf("unknown scale %q (want tiny|reduced|large|full)", name)
 	}
 }
 
@@ -79,7 +80,7 @@ func constellationByName(name string) (leosim.ConstellationChoice, error) {
 	case "kuiper":
 		return leosim.Kuiper, nil
 	default:
-		return 0, fmt.Errorf("unknown constellation %q", name)
+		return 0, fmt.Errorf("unknown constellation %q (want starlink|kuiper)", name)
 	}
 }
 
@@ -88,6 +89,11 @@ func run(ctx context.Context, args []string) error {
 	// experiment knobs), dispatched before experiment flag parsing.
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(ctx, args[1:])
+	}
+	// check likewise dispatches to its own flag set; it validates invariants
+	// rather than running an experiment.
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(ctx, args[1:])
 	}
 
 	fs := flag.NewFlagSet("leosim", flag.ContinueOnError)
@@ -107,7 +113,7 @@ func run(ctx context.Context, args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
