@@ -56,8 +56,18 @@ type shareItem struct {
 
 type shareHeap []shareItem
 
-func (h shareHeap) Len() int            { return len(h) }
-func (h shareHeap) Less(i, j int) bool  { return h[i].share < h[j].share }
+func (h shareHeap) Len() int { return len(h) }
+
+// Less orders by share, then by edge index: equal fair shares are common
+// (symmetric topologies, quantized capacities) and the freeze order they
+// induce must not depend on heap insertion history, or same-seed runs
+// diverge in the last float bits of the allocation.
+func (h shareHeap) Less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].edge < h[j].edge
+}
 func (h shareHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *shareHeap) Push(x interface{}) { *h = append(*h, x.(shareItem)) }
 func (h *shareHeap) Pop() interface{} {
@@ -85,9 +95,12 @@ func (p *Problem) MaxMinFair() ([]float64, error) {
 	}
 
 	// Per-edge state: remaining capacity and the unfrozen flows crossing.
+	// Indexed by edge (not map-keyed) so every iteration below runs in
+	// ascending edge order — the allocation must be a pure function of the
+	// problem, bit for bit.
 	used := make([]float64, len(p.cap))
-	edgeFlows := make(map[int32][]int32)
-	unfrozenCount := make(map[int32]int32)
+	edgeFlows := make([][]int32, len(p.cap))
+	unfrozenCount := make([]int32, len(p.cap))
 	for fi, edges := range p.flowEdges {
 		seen := map[int32]bool{}
 		for _, e := range edges {
@@ -114,8 +127,10 @@ func (p *Problem) MaxMinFair() ([]float64, error) {
 	}
 
 	h := make(shareHeap, 0, len(edgeFlows))
-	for e := range edgeFlows {
-		h = append(h, shareItem{edge: e, share: share(e)})
+	for e := int32(0); e < int32(len(edgeFlows)); e++ {
+		if len(edgeFlows[e]) > 0 {
+			h = append(h, shareItem{edge: e, share: share(e)})
+		}
 	}
 	heap.Init(&h)
 

@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// symmetricProblem builds an allocation instance saturated with equal fair
+// shares: every edge has the same capacity and flow count, so the
+// progressive-filling heap is all ties. Any order-dependence in the solver
+// (map-seeded heap, history-dependent tie-breaks) shows up here as run-to-run
+// drift in the float accumulation.
+func symmetricProblem(edges, flowsPerEdge int) *Problem {
+	caps := make([]float64, edges)
+	for i := range caps {
+		caps[i] = 10
+	}
+	p := NewProblem(caps)
+	for f := 0; f < flowsPerEdge; f++ {
+		for e := 0; e < edges; e++ {
+			// Each flow crosses two adjacent edges of the ring.
+			p.AddFlow([]int32{int32(e), int32((e + 1) % edges)})
+		}
+	}
+	return p
+}
+
+// TestMaxMinFairDeterministic is the regression test for the map-iteration
+// nondeterminism the differential JSON suite surfaced: repeated solves of a
+// tie-heavy instance must agree bit for bit.
+func TestMaxMinFairDeterministic(t *testing.T) {
+	p := symmetricProblem(16, 5)
+	want, err := p.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 50; rep++ {
+		got, err := p.MaxMinFair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range want {
+			if got[fi] != want[fi] {
+				t.Fatalf("rep %d: flow %d allocated %v, first run %v", rep, fi, got[fi], want[fi])
+			}
+		}
+	}
+	if vs := p.VerifyMaxMin(want, 1e-9); len(vs) != 0 {
+		t.Fatalf("symmetric allocation not max-min fair: %v", vs)
+	}
+}
+
+func TestVerifyMaxMinAcceptsExactSolution(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		caps := make([]float64, 12)
+		for i := range caps {
+			caps[i] = 1 + 9*r.Float64()
+		}
+		p := NewProblem(caps)
+		for f := 0; f < 18; f++ {
+			hops := 1 + r.Intn(4)
+			es := make([]int32, hops)
+			for h := range es {
+				es[h] = int32(r.Intn(len(caps)))
+			}
+			p.AddFlow(es)
+		}
+		alloc, err := p.MaxMinFair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := p.VerifyMaxMin(alloc, 1e-9); len(vs) != 0 {
+			t.Fatalf("trial %d: exact solution rejected: %v", trial, vs)
+		}
+	}
+}
+
+func TestVerifyMaxMinCatchesOversubscription(t *testing.T) {
+	p := NewProblem([]float64{10})
+	p.AddFlow([]int32{0})
+	p.AddFlow([]int32{0})
+	vs := p.VerifyMaxMin([]float64{8, 8}, 1e-9)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "oversubscription" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("16 over a 10-capacity edge not flagged: %v", vs)
+	}
+}
+
+// TestVerifyMaxMinCatchesUnderAllocation pins the oracle's power against the
+// one-shot BottleneckApprox: on this instance the approximation strands
+// capacity (flow 0 could grow on its unsaturated edge), which the bottleneck
+// condition must flag — while the exact solver's answer passes.
+func TestVerifyMaxMinCatchesUnderAllocation(t *testing.T) {
+	p := NewProblem([]float64{10, 2})
+	p.AddFlow([]int32{0})    // flow 0: wide edge only
+	p.AddFlow([]int32{0, 1}) // flow 1: throttled by the narrow edge
+	approx, err := p.BottleneckApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximation: both flows see edge 0's 10/2 = 5; flow 1 additionally
+	// capped at 2. Edge 0 then carries 7 of 10 — flow 0 should be at 8.
+	if approx[0] != 5 || approx[1] != 2 {
+		t.Fatalf("approx = %v, want [5 2]", approx)
+	}
+	vs := p.VerifyMaxMin(approx, 1e-9)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "no-bottleneck" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("under-allocation not flagged: %v", vs)
+	}
+
+	exact, err := p.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact[0] != 8 || exact[1] != 2 {
+		t.Fatalf("exact = %v, want [8 2]", exact)
+	}
+	if vs := p.VerifyMaxMin(exact, 1e-9); len(vs) != 0 {
+		t.Fatalf("exact solution rejected: %v", vs)
+	}
+}
+
+func TestVerifyMaxMinShapeChecks(t *testing.T) {
+	p := NewProblem([]float64{5})
+	p.AddFlow([]int32{0})
+	if vs := p.VerifyMaxMin([]float64{1, 2}, 0); len(vs) != 1 || vs[0].Kind != "shape" {
+		t.Fatalf("length mismatch: %v", vs)
+	}
+	if vs := p.VerifyMaxMin([]float64{math.NaN()}, 0); len(vs) != 1 || vs[0].Kind != "shape" {
+		t.Fatalf("NaN rate: %v", vs)
+	}
+	if vs := p.VerifyMaxMin([]float64{-1}, 0); len(vs) != 1 || vs[0].Kind != "shape" {
+		t.Fatalf("negative rate: %v", vs)
+	}
+}
+
+// Zero-capacity edges and pathless flows are conventions, not violations.
+func TestVerifyMaxMinZeroCapacityAndPathless(t *testing.T) {
+	p := NewProblem([]float64{0, 4})
+	p.AddFlow([]int32{0, 1}) // crosses the dead edge: rate 0
+	p.AddFlow([]int32{1})
+	p.AddFlow(nil) // pathless: rate 0 by convention
+	alloc, err := p.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 0 || alloc[1] != 4 || alloc[2] != 0 {
+		t.Fatalf("alloc = %v, want [0 4 0]", alloc)
+	}
+	if vs := p.VerifyMaxMin(alloc, 1e-9); len(vs) != 0 {
+		t.Fatalf("conventional zeros rejected: %v", vs)
+	}
+}
