@@ -280,16 +280,18 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 		if err != nil {
 			return err
 		}
-		for _, tr := range res.Traces {
-			if tr.Reachable {
-				fmt.Fprintf(w, "%s rtt=%6.1fms hops=%2d aircraft=%d route=%s\n",
-					tr.Time.Format("15:04"), tr.RTTMs, tr.Hops, tr.AircraftHops, tr.Route)
-			} else {
-				fmt.Fprintf(w, "%s unreachable\n", tr.Time.Format("15:04"))
+		return emit(res, func() {
+			for _, tr := range res.Traces {
+				if tr.Reachable {
+					fmt.Fprintf(w, "%s rtt=%6.1fms hops=%2d aircraft=%d route=%s\n",
+						tr.Time.Format("15:04"), tr.RTTMs, tr.Hops, tr.AircraftHops, tr.Route)
+				} else {
+					fmt.Fprintf(w, "%s unreachable\n", tr.Time.Format("15:04"))
+				}
 			}
-		}
-		fmt.Fprintf(w, "fig3 RTT inflation (max-min): %.1f ms; uses aircraft: %v\n",
-			res.RTTInflationMs(), res.UsesAircraftEver())
+			fmt.Fprintf(w, "fig3 RTT inflation (max-min): %.1f ms; uses aircraft: %v\n",
+				res.RTTInflationMs(), res.UsesAircraftEver())
+		})
 	case "fig4":
 		rows, err := leosim.RunFig4(ctx, sim)
 		if err != nil {
@@ -451,5 +453,4 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 	default:
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
-	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -24,6 +25,25 @@ type HopTrace struct {
 	Route string
 	// Reachable is false when the pair was disconnected at this snapshot.
 	Reachable bool
+}
+
+// MarshalJSON renders an unreachable snapshot's RTT (internally +Inf, which
+// encoding/json rejects) as null instead of failing the whole envelope.
+func (h HopTrace) MarshalJSON() ([]byte, error) {
+	var rtt *float64
+	if h.Reachable && !math.IsInf(h.RTTMs, 0) {
+		rtt = &h.RTTMs
+	}
+	return json.Marshal(struct {
+		Time         time.Time `json:"time"`
+		RTTMs        *float64  `json:"rttMs"`
+		Hops         int       `json:"hops"`
+		AircraftHops int       `json:"aircraftHops"`
+		RelayHops    int       `json:"relayHops"`
+		CityHops     int       `json:"cityHops"`
+		Route        string    `json:"route,omitempty"`
+		Reachable    bool      `json:"reachable"`
+	}{h.Time, rtt, h.Hops, h.AircraftHops, h.RelayHops, h.CityHops, h.Route, h.Reachable})
 }
 
 // PathTraceResult is the Fig 3 output: the BP path between one city pair

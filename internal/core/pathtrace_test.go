@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -155,5 +157,25 @@ func TestFiberAugmentationParis(t *testing.T) {
 	WriteFiberReport(&buf, r)
 	if !strings.Contains(buf.String(), "fig11") {
 		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+// An unreachable snapshot stores +Inf RTT internally, which encoding/json
+// rejects; the custom marshaller must render it as null so -json output of a
+// partially disconnected trace stays valid.
+func TestHopTraceJSONUnreachable(t *testing.T) {
+	r := &PathTraceResult{Traces: []HopTrace{
+		{RTTMs: math.Inf(1)},
+		{RTTMs: 42.5, Reachable: true},
+	}}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal with unreachable trace: %v", err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"rttMs":null`, `"rttMs":42.5`, `"reachable":false`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s in %s", want, s)
+		}
 	}
 }
