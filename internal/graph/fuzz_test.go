@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"leosim/internal/geo"
+)
+
+// Native fuzz targets: raw bytes are decoded directly into a graph topology
+// (no PRNG indirection, so the fuzzer's mutations map straight onto
+// structural edge cases — self-referential link lists, parallel links,
+// isolated nodes, degenerate weights) and the kernel is held to the naive
+// reference from differential_test.go, plus CSR structural invariants.
+
+// fuzzNet decodes a byte stream into a small graph. Layout: byte 0 sizes the
+// node set, byte 1 flags ground-side nodes, then each link consumes three
+// bytes (endpoint, endpoint, quantized weight). Self-loops are skipped;
+// parallel links are kept deliberately.
+func fuzzNet(data []byte) *Network {
+	if len(data) < 5 {
+		return nil
+	}
+	nodes := 2 + int(data[0])%60
+	n := &Network{}
+	for i := 0; i < nodes; i++ {
+		kind := NodeSatellite
+		if data[1]&(1<<(i%8)) != 0 && i%3 == 0 {
+			kind = NodeCity
+		}
+		n.AddNode(kind, geo.Vec3{}, "")
+	}
+	for i := 2; i+2 < len(data); i += 3 {
+		a := int32(int(data[i]) % nodes)
+		b := int32(int(data[i+1]) % nodes)
+		if a == b {
+			continue
+		}
+		w := 0.25 + 0.25*float64(data[i+2]%32)
+		n.Links = append(n.Links, Link{A: a, B: b, Kind: LinkGSL, CapGbps: 1, OneWayMs: w})
+	}
+	n.csrValid.Store(false)
+	return n
+}
+
+// FuzzSearch holds the allocation-free search kernel to the naive O(V²)
+// reference on arbitrary decoded topologies: identical distances, identical
+// predecessor links (pinning the (dist, node) tie-break), and an extracted
+// path consistent with the distance label.
+func FuzzSearch(f *testing.F) {
+	f.Add([]byte{10, 0xAA, 0, 1, 3, 1, 2, 7, 2, 3, 1, 0, 3, 9}, uint8(0), uint8(3), uint8(0))
+	f.Add([]byte{40, 0x0F, 5, 6, 2, 6, 7, 2, 7, 5, 2, 1, 2, 30}, uint8(5), uint8(7), uint8(3))
+	f.Add([]byte{2, 1, 0, 1, 15}, uint8(1), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, srcB, dstB, banB uint8) {
+		n := fuzzNet(data)
+		if n == nil || len(n.Links) == 0 {
+			t.Skip()
+		}
+		src := int32(int(srcB) % n.N())
+		dst := int32(int(dstB) % n.N())
+		banned := map[int32]bool{}
+		for li := range n.Links {
+			if banB > 0 && li%int(banB) == 0 {
+				banned[int32(li)] = true
+			}
+		}
+
+		dist, prev := n.Dijkstra(src, banned)
+		wantDist, wantPrev := naiveDijkstra(n, src, NoTarget, banned, nil, nil, nil)
+		for v := range dist {
+			if dist[v] != wantDist[v] || prev[v] != wantPrev[v] {
+				t.Fatalf("node %d: kernel (%v, %d) vs reference (%v, %d)",
+					v, dist[v], prev[v], wantDist[v], wantPrev[v])
+			}
+		}
+
+		// Sat-transit restriction against the reference with the same expand.
+		expand := func(v int32) bool { return !n.IsGroundSide(v) }
+		gotD, gotP := n.DijkstraExpand(src, nil, expand)
+		refD, refP := naiveDijkstra(n, src, NoTarget, nil, nil, expand, nil)
+		for v := range gotD {
+			if gotD[v] != refD[v] || gotP[v] != refP[v] {
+				t.Fatalf("sat-transit node %d: kernel (%v, %d) vs reference (%v, %d)",
+					v, gotD[v], gotP[v], refD[v], refP[v])
+			}
+		}
+
+		// Extracted path must be continuous and priced exactly at dist[dst].
+		if p, ok := n.ShortestPath(src, dst); ok {
+			d, _ := n.Dijkstra(src, nil)
+			if math.Abs(p.OneWayMs-d[dst]) > 1e-12*math.Max(1, d[dst]) {
+				t.Fatalf("path delay %v vs dist %v", p.OneWayMs, d[dst])
+			}
+			at := src
+			for i, li := range p.Links {
+				l := n.Links[li]
+				switch at {
+				case l.A:
+					at = l.B
+				case l.B:
+					at = l.A
+				default:
+					t.Fatalf("hop %d: link %d (%d-%d) does not touch %d", i, li, l.A, l.B, at)
+				}
+			}
+			if at != dst {
+				t.Fatalf("path ends at %d, want %d", at, dst)
+			}
+		}
+	})
+}
+
+// FuzzBuildCSR checks the lazily built CSR adjacency against the flat link
+// list on arbitrary topologies: every link appears exactly once per endpoint,
+// degrees agree, and a RewriteLinks round-trip (the mutation path that
+// invalidates the CSR) rebuilds it consistently.
+func FuzzBuildCSR(f *testing.F) {
+	f.Add([]byte{6, 0, 0, 1, 1, 1, 2, 1, 4, 5, 1, 0, 5, 1})
+	f.Add([]byte{3, 0xFF, 0, 1, 1, 0, 1, 1, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := fuzzNet(data)
+		if n == nil {
+			t.Skip()
+		}
+		verify := func(tag string) {
+			seen := make(map[int32]int, len(n.Links))
+			total := 0
+			for v := int32(0); v < int32(n.N()); v++ {
+				edges := n.Edges(v)
+				if len(edges) != n.Degree(v) {
+					t.Fatalf("%s: node %d: %d edges vs degree %d", tag, v, len(edges), n.Degree(v))
+				}
+				total += len(edges)
+				for _, e := range edges {
+					l := n.Links[e.Link]
+					if l.A != v && l.B != v {
+						t.Fatalf("%s: node %d lists link %d (%d-%d)", tag, v, e.Link, l.A, l.B)
+					}
+					if want := l.A + l.B - v; e.To != want {
+						t.Fatalf("%s: link %d from %d: To=%d, want %d", tag, e.Link, v, e.To, want)
+					}
+					seen[e.Link]++
+				}
+			}
+			if total != 2*len(n.Links) {
+				t.Fatalf("%s: CSR holds %d half-edges for %d links", tag, total, len(n.Links))
+			}
+			for li := range n.Links {
+				if seen[int32(li)] != 2 {
+					t.Fatalf("%s: link %d appears %d times, want 2", tag, li, seen[int32(li)])
+				}
+			}
+		}
+		verify("initial")
+		n.RewriteLinks(func(l Link) (Link, bool) { return l, true })
+		verify("after rewrite")
+	})
+}

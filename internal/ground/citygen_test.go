@@ -1,0 +1,35 @@
+package ground
+
+import "testing"
+
+// TestCitiesPrefixStable is the metamorphic property behind every scale knob
+// in the simulator: asking for more cities must extend the list, never
+// reshuffle it. If Cities(m)[:n] ≠ Cities(n), changing -cities silently
+// changes which traffic sources every experiment samples, and cross-scale
+// comparisons (tiny vs reduced vs full) stop being apples to apples.
+func TestCitiesPrefixStable(t *testing.T) {
+	sizes := []int{600, 800, 1000}
+	largest, err := Cities(sizes[len(sizes)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sizes[:len(sizes)-1] {
+		if n < len(anchorCities) {
+			t.Fatalf("test size %d below the %d anchors — prefix property only holds past them",
+				n, len(anchorCities))
+		}
+		cs, err := Cities(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != n {
+			t.Fatalf("Cities(%d) returned %d cities", n, len(cs))
+		}
+		for i := range cs {
+			if cs[i] != largest[i] {
+				t.Fatalf("Cities(%d)[%d] = %+v, but Cities(%d)[%d] = %+v — prefix not stable",
+					n, i, cs[i], sizes[len(sizes)-1], i, largest[i])
+			}
+		}
+	}
+}
