@@ -28,9 +28,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -42,10 +44,15 @@ import (
 	"time"
 
 	"leosim"
+	"leosim/internal/atomicfile"
 	"leosim/internal/constellation"
 	"leosim/internal/ground"
 	"leosim/internal/version"
 )
+
+// stdout is where experiment results go; a variable so tests can capture
+// the exact byte stream a run produces.
+var stdout io.Writer = os.Stdout
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -112,6 +119,7 @@ func run(ctx context.Context, args []string) error {
 	faultName := fs.String("fault", "sat", "resilience scenario: sat|plane|site|isl|gslcap")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	resume := fs.String("resume", "", "journal experiment/snapshot completion to this file and resume from it after a crash or Ctrl-C")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
@@ -168,38 +176,54 @@ func run(ctx context.Context, args []string) error {
 	// enabled is still nanoseconds per stage, and the per-run breakdown
 	// (stage_times, debug logs) depends on it.
 	leosim.EnableTelemetry()
+	// Profiles and traces go through atomic temp+fsync+rename writes: a
+	// crash mid-run leaves no truncated file for pprof to choke on later.
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		f, err := atomicfile.Create(*traceFile)
 		if err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		defer f.Close()
+		defer f.Abort() // no-op once committed
 		if err := trace.Start(f); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		defer trace.Stop()
+		defer func() {
+			trace.Stop()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: trace:", err)
+			}
+		}()
 	}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := atomicfile.Create(*cpuProfile)
 		if err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		defer f.Close()
+		defer f.Abort()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: cpuprofile:", err)
+			}
+		}()
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			f, err := atomicfile.Create(*memProfile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "leosim: memprofile:", err)
 				return
 			}
-			defer f.Close()
+			defer f.Abort()
 			runtime.GC() // settle live-heap numbers before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: memprofile:", err)
+				return
+			}
+			if err := f.Commit(); err != nil {
 				fmt.Fprintln(os.Stderr, "leosim: memprofile:", err)
 			}
 		}()
@@ -213,6 +237,21 @@ func run(ctx context.Context, args []string) error {
 	logger.Info("sim ready", "sim", sim.String(),
 		"buildMs", time.Since(start).Milliseconds())
 
+	// -resume binds this run to a journal: completed experiments replay
+	// their stored output, the snapshot-level sweeps skip journaled
+	// snapshots, and the journal description pins every flag that shapes
+	// the output so incompatible runs can never be spliced together.
+	var jour *leosim.Journal
+	if *resume != "" {
+		desc := fmt.Sprintf("%s cmd=%s json=%t cdf=%d fault=%s", sim, cmd, *jsonOut, *cdfPoints, *faultName)
+		jour, err = leosim.OpenJournal(*resume, desc)
+		if err != nil {
+			return err
+		}
+		ctx = leosim.WithJournal(ctx, jour)
+		logger.Info("journal open", "path", *resume, "records", jour.Len())
+	}
+
 	experiments := []string{cmd}
 	switch cmd {
 	case "all":
@@ -223,6 +262,15 @@ func run(ctx context.Context, args []string) error {
 			"gsoimpact", "resilience", "churn", "passes"}
 	}
 	for _, e := range experiments {
+		if jour != nil {
+			if out, ok := jour.DoneOutput(e); ok {
+				logger.Info("experiment replayed from journal", "name", e)
+				if _, err := stdout.Write(out); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		t0 := time.Now()
 		logger.Info("experiment start", "name", e)
 		// One recorder per experiment: every pipeline stage run under this
@@ -230,8 +278,32 @@ func run(ctx context.Context, args []string) error {
 		// the JSON envelope and in the done log line.
 		rec := leosim.NewTelemetryRecorder()
 		ectx := leosim.WithTelemetryRecorder(ctx, rec)
-		if err := runExperiment(ectx, sim, e, *cdfPoints, *jsonOut, *faultName, rec); err != nil {
-			return fmt.Errorf("%s: %w", e, err)
+		w := stdout
+		emitRec := rec
+		var buf *bytes.Buffer
+		if jour != nil {
+			// Journaled output is buffered so only complete experiments are
+			// marked done, and emitted without stage_times — wall-clock
+			// timings would make replayed output differ from recomputed.
+			buf = &bytes.Buffer{}
+			w = buf
+			emitRec = nil
+		}
+		rerr := runExperiment(ectx, sim, e, *cdfPoints, *jsonOut, *faultName, emitRec, w)
+		if buf != nil && buf.Len() > 0 {
+			// Flush even on error: a cancelled sweep still emits its
+			// partial-prefix envelope, exactly like an unjournaled run.
+			if _, err := stdout.Write(buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", e, rerr)
+		}
+		if jour != nil {
+			if err := jour.MarkDone(e, buf.Bytes()); err != nil {
+				return err
+			}
 		}
 		attrs := []any{slog.String("name", e),
 			slog.Int64("durMs", time.Since(t0).Milliseconds())}
@@ -243,8 +315,7 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
-func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string, rec *leosim.TelemetryRecorder) error {
-	w := os.Stdout
+func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string, rec *leosim.TelemetryRecorder, w io.Writer) error {
 	// partial is set by the experiments that can flush a completed prefix
 	// after cancellation (fig2a/fig2b, disconnected, resilience) before they
 	// call emit; the JSON envelope then carries "partial": true.

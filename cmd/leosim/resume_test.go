@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureRun executes the CLI with stdout redirected into a buffer,
+// returning the exact byte stream the run produced. Tests in this package
+// run sequentially, so swapping the package-level stdout is safe.
+func captureRun(ctx context.Context, args []string) ([]byte, error) {
+	old := stdout
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = old }()
+	err := run(ctx, args)
+	return buf.Bytes(), err
+}
+
+// extArgs is the journaled sweep every subtest replays: the ext suite at
+// tiny scale, JSON envelopes, no CDF tails (ext includes the resilience
+// sweep, so both experiment-level and snapshot-level journaling are
+// exercised).
+func extArgs(journal string) []string {
+	return []string{"-scale", "tiny", "-snapshots", "2", "-cdf-points", "0",
+		"-quiet", "-json", "-resume", journal, "ext"}
+}
+
+// countDone reports how many experiments the journal has marked complete.
+func countDone(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return bytes.Count(data, []byte(`"kind":"done"`))
+}
+
+// The -resume acceptance path, end to end: a journaled sweep replays
+// byte-identically, a sweep killed mid-run resumes to the same bytes without
+// redoing completed experiments, and a journal never accepts flags that
+// would change the output it stores.
+func TestResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweeps in -short mode")
+	}
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.journal")
+
+	// The reference: one uninterrupted journaled run.
+	want, err := captureRun(context.Background(), extArgs(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+
+	t.Run("replay is byte-identical", func(t *testing.T) {
+		got, err := captureRun(context.Background(), extArgs(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("replayed output differs from original (%d vs %d bytes)", len(got), len(want))
+		}
+	})
+
+	t.Run("kill and resume is byte-identical", func(t *testing.T) {
+		journal := filepath.Join(dir, "killed.journal")
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		// The "kill": cancel the run's context — the CLI face of Ctrl-C —
+		// once at least two experiments have journaled as done, leaving the
+		// rest uncomputed.
+		stopWatch := make(chan struct{})
+		go func() {
+			defer cancel()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				if countDone(journal) >= 2 {
+					return
+				}
+			}
+		}()
+		_, _ = captureRun(ctx, extArgs(journal)) // error expected; ignored
+		close(stopWatch)
+
+		done := countDone(journal)
+		if done < 2 || done >= 9 {
+			t.Fatalf("killed run journaled %d done experiments, want a strict mid-sweep prefix", done)
+		}
+		got, err := captureRun(context.Background(), extArgs(journal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("resumed output differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+		}
+		if countDone(journal) != 9 {
+			t.Errorf("resumed journal holds %d done experiments, want all 9", countDone(journal))
+		}
+	})
+
+	t.Run("refuses mismatched flags", func(t *testing.T) {
+		args := extArgs(ref)
+		args[5] = "7" // -cdf-points 0 → 7 changes the rendered output
+		_, err := captureRun(context.Background(), args)
+		if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+			t.Errorf("err = %v, want run-configuration mismatch", err)
+		}
+	})
+}

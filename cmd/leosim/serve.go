@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"leosim"
+	"leosim/internal/fault"
 	"leosim/internal/server"
 	"leosim/internal/version"
 )
@@ -44,6 +45,14 @@ func runServe(ctx context.Context, args []string) error {
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	cacheSize := fs.Int("cache-size", 0, "snapshot cache capacity in graphs (0 = snapshots+4)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "snapshot cache entry TTL (0 = never expire)")
+	staleFor := fs.Duration("cache-stale-for", 0, "serve expired snapshots (marked stale) this long past TTL while rebuilding in the background")
+	buildTimeout := fs.Duration("build-timeout", 0, "per-snapshot build deadline (0 = unbounded)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive build failures that trip the circuit breaker (0 = default 5, negative = disabled)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before one probe build (0 = 5s)")
+	chaosFail := fs.Float64("chaos-fail", 0, "chaos: probability a snapshot build fails (testing only)")
+	chaosPanic := fs.Float64("chaos-panic", 0, "chaos: probability a snapshot build panics (testing only)")
+	chaosDelay := fs.Duration("chaos-delay", 0, "chaos: added latency per snapshot build (testing only)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos: injection seed (same seed, same faults)")
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent query cap, excess sheds 429 (0 = 2×GOMAXPROCS)")
 	reqTimeout := fs.Duration("req-timeout", 15*time.Second, "per-query deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound after SIGTERM")
@@ -86,15 +95,26 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	var chaos *fault.Chaos
+	if *chaosFail > 0 || *chaosPanic > 0 || *chaosDelay > 0 {
+		chaos = fault.NewChaos(*chaosSeed, *chaosFail, *chaosPanic, *chaosDelay)
+		fmt.Fprintf(os.Stderr, "chaos injection armed: fail=%.2f panic=%.2f delay=%v seed=%d\n",
+			*chaosFail, *chaosPanic, *chaosDelay, *chaosSeed)
+	}
 	srv, err := server.New(server.Config{
-		Sim:            sim,
-		CacheSize:      *cacheSize,
-		CacheTTL:       *cacheTTL,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drainTimeout,
-		Logger:         logger,
-		EnablePprof:    *pprofOn,
+		Sim:              sim,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		CacheStaleFor:    *staleFor,
+		BuildTimeout:     *buildTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Chaos:            chaos,
+		MaxInFlight:      *maxInFlight,
+		RequestTimeout:   *reqTimeout,
+		DrainTimeout:     *drainTimeout,
+		Logger:           logger,
+		EnablePprof:      *pprofOn,
 	})
 	if err != nil {
 		return err

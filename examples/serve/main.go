@@ -1,22 +1,33 @@
 // Serve example: run the constellation query service in-process and hammer
 // it with concurrent clients, the workload the snapshot cache exists for.
-// 24 clients fire 96 path queries spread over a handful of snapshots and
-// both connectivity modes; the cache statistics afterwards show that only
-// one graph build ran per distinct (mode, snapshot) even though every
-// snapshot was requested dozens of times. A repeat pass then verifies that
-// answers are stable across cache hits.
+// 24 clients fire path queries spread over a handful of snapshots and both
+// connectivity modes; the cache statistics afterwards show that only one
+// graph build ran per distinct (mode, snapshot) even though every snapshot
+// was requested dozens of times. A repeat pass then verifies that answers
+// are stable across cache hits.
+//
+// The client retries like a production one: exponential backoff with full
+// jitter, honouring Retry-After (429 back-pressure and 503 breaker
+// rejections) as a floor. That makes it double as the chaos-smoke driver:
+// pointed at an external server built with injected build failures
+// (-addr, see scripts/chaos_smoke.sh), it reports its success rate and
+// exits non-zero below -min-success.
 //
 //	go run ./examples/serve
+//	go run ./examples/serve -addr 127.0.0.1:8080 -requests 192 -min-success 0.95
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -26,7 +37,36 @@ import (
 	"leosim/internal/server"
 )
 
+// maxTries bounds the retry loop; with backoff doubling from 100ms this
+// spends about 6s worst-case on one unlucky query before giving up.
+const maxTries = 6
+
+// backoff returns the wait before retry attempt (0-based): exponential with
+// full jitter on the upper half, floored by the server's Retry-After hint.
+func backoff(attempt int, retryAfter string) time.Duration {
+	d := time.Duration(100<<attempt) * time.Millisecond
+	if ra, err := strconv.Atoi(retryAfter); err == nil && ra > 0 {
+		if hint := time.Duration(ra) * time.Second; hint > d {
+			d = hint
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+type tally struct {
+	ok, failed, shed, retried, stale, degraded atomic.Int64
+}
+
 func main() {
+	addr := flag.String("addr", "", "query an already-running server at this address instead of starting one in-process (its -scale must be tiny)")
+	requests := flag.Int("requests", 96, "number of path queries to issue")
+	clients := flag.Int("clients", 24, "concurrent client goroutines")
+	minSuccess := flag.Float64("min-success", 1.0, "exit non-zero if the answered fraction falls below this")
+	flag.Parse()
+
+	// The sim is always built locally: it is the source of the city names the
+	// queries use (and, in-process, the server itself). External servers must
+	// therefore run the same tiny scale.
 	scale := leosim.TinyScale()
 	sim, err := leosim.NewSim(leosim.Starlink, scale)
 	if err != nil {
@@ -34,103 +74,128 @@ func main() {
 	}
 	fmt.Println(sim)
 
-	srv, err := server.New(server.Config{Sim: sim})
-	if err != nil {
-		log.Fatal(err)
+	var srv *server.Server
+	var serveDone chan error
+	var stop context.CancelFunc
+	base := "http://" + *addr
+	if *addr == "" {
+		srv, err = server.New(server.Config{Sim: sim})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ctx context.Context
+		ctx, stop = context.WithCancel(context.Background())
+		serveDone = make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ctx, ln) }()
+		base = "http://" + ln.Addr().String()
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctx, stop := context.WithCancel(context.Background())
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ctx, ln) }()
-	base := "http://" + ln.Addr().String()
-	fmt.Println("serving on", base)
+	fmt.Println("querying", base)
 
 	// Every client asks for one of a few (pair, mode, snapshot) combinations
 	// — many more queries than distinct snapshots, so most requests must be
 	// served from the shared cache.
 	type query struct{ src, dst, mode, snap string }
-	queries := make([]query, 0, 96)
-	for i := 0; i < 96; i++ {
+	queries := make([]query, 0, *requests)
+	for i := 0; i < *requests; i++ {
 		pair := sim.Pairs[i%4]
 		mode := []string{"bp", "hybrid"}[i%2]
 		snap := fmt.Sprint(i % 3)
 		queries = append(queries, query{sim.CityName(pair.Src), sim.CityName(pair.Dst), mode, snap})
 	}
-	var shed atomic.Int64
-	get := func(q query) (string, float64, bool) {
+
+	var tl tally
+	// get answers one query, retrying transient failures (429 back-pressure,
+	// injected 5xx, truncated bodies) under backoff. The second result
+	// reports whether an answer was obtained at all.
+	get := func(q query) (rtt float64, answered, reachable bool) {
 		v := url.Values{}
 		v.Set("src", q.src)
 		v.Set("dst", q.dst)
 		v.Set("mode", q.mode)
 		v.Set("snap", q.snap)
 		var body struct {
-			Path struct {
+			Stale    bool   `json:"stale"`
+			Degraded string `json:"degraded"`
+			Path     struct {
 				Reachable bool    `json:"reachable"`
 				RTTMs     float64 `json:"rttMs"`
 			} `json:"path"`
 		}
-		for {
+		for attempt := 0; attempt < maxTries; attempt++ {
 			resp, err := http.Get(base + "/v1/path?" + v.Encode())
 			if err != nil {
-				log.Fatal(err)
+				log.Fatal(err) // transport failure: the server is gone, not degraded
 			}
-			// A well-behaved client treats 429 as back-pressure, not
-			// failure: back off for the advertised interval and retry.
-			if resp.StatusCode == http.StatusTooManyRequests {
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				// Decode per response: a truncated or interleaved body is a
+				// server bug backoff must not paper over.
+				err := json.NewDecoder(resp.Body).Decode(&body)
 				resp.Body.Close()
-				shed.Add(1)
-				wait := time.Second
-				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-					wait = time.Duration(ra) * time.Second
+				if err != nil {
+					log.Fatalf("GET /v1/path: truncated or invalid JSON body: %v", err)
 				}
-				time.Sleep(wait)
-				continue
+				if body.Stale {
+					tl.stale.Add(1)
+				}
+				if body.Degraded != "" {
+					tl.degraded.Add(1)
+				}
+				tl.ok.Add(1)
+				return body.Path.RTTMs, true, body.Path.Reachable
+			case resp.StatusCode == http.StatusTooManyRequests:
+				tl.shed.Add(1)
+			case resp.StatusCode >= 500:
+				tl.retried.Add(1)
+			default:
+				log.Fatalf("GET /v1/path: unexpected status %d", resp.StatusCode)
 			}
-			if resp.StatusCode != http.StatusOK {
-				log.Fatalf("GET /v1/path: status %d", resp.StatusCode)
-			}
-			err = json.NewDecoder(resp.Body).Decode(&body)
+			ra := resp.Header.Get("Retry-After")
 			resp.Body.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-			break
+			time.Sleep(backoff(attempt, ra))
 		}
-		key := fmt.Sprintf("%s→%s/%s@%s", q.src, q.dst, q.mode, q.snap)
-		return key, body.Path.RTTMs, body.Path.Reachable
+		tl.failed.Add(1)
+		return 0, false, false
 	}
 
-	const clients = 24
 	answers := sync.Map{} // query key → RTT from the concurrent pass
 	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
+	for c := 0; c < *clients; c++ {
 		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := c; i < len(queries); i += clients {
-				key, rtt, ok := get(queries[i])
-				if ok {
-					answers.Store(key, rtt)
+			for i := c; i < len(queries); i += *clients {
+				q := queries[i]
+				if rtt, answered, reachable := get(q); answered && reachable {
+					answers.Store(fmt.Sprintf("%s→%s/%s@%s", q.src, q.dst, q.mode, q.snap), rtt)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	st := srv.CacheStats()
-	fmt.Printf("after %d queries from %d clients: %d graph builds, %d cache hits (%.0f%% hit rate), %d shed then retried\n",
-		len(queries), clients, st.Builds, st.Hits, st.HitRate()*100, shed.Load())
+	if srv != nil {
+		st := srv.CacheStats()
+		fmt.Printf("after %d queries from %d clients: %d graph builds, %d cache hits (%.0f%% hit rate)\n",
+			len(queries), *clients, st.Builds, st.Hits, st.HitRate()*100)
+	}
+	rate := float64(tl.ok.Load()) / float64(len(queries))
+	fmt.Printf("answered %d/%d (%.1f%%): %d shed+retried, %d 5xx+retried, %d stale, %d degraded, %d gave up\n",
+		tl.ok.Load(), len(queries), rate*100, tl.shed.Load(), tl.retried.Load(),
+		tl.stale.Load(), tl.degraded.Load(), tl.failed.Load())
 
 	// Repeat pass, sequentially: every answer must match the concurrent run
 	// bit for bit — cached and freshly-built snapshots are interchangeable.
 	mismatches := 0
 	for _, q := range queries {
-		key, rtt, ok := get(q)
-		if prev, seen := answers.Load(key); ok && seen && prev.(float64) != rtt {
+		rtt, answered, reachable := get(q)
+		key := fmt.Sprintf("%s→%s/%s@%s", q.src, q.dst, q.mode, q.snap)
+		if prev, seen := answers.Load(key); answered && reachable && seen && prev.(float64) != rtt {
 			fmt.Printf("MISMATCH %s: %.3f ms then %.3f ms\n", key, prev.(float64), rtt)
 			mismatches++
 		}
@@ -139,9 +204,18 @@ func main() {
 		fmt.Println("repeat pass: every cached answer identical to the first run")
 	}
 
-	stop()
-	if err := <-serveDone; err != nil {
-		log.Fatal(err)
+	if srv != nil {
+		stop()
+		if err := <-serveDone; err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("drained cleanly")
 	}
-	fmt.Println("drained cleanly")
+	if mismatches > 0 {
+		os.Exit(1)
+	}
+	if rate < *minSuccess {
+		fmt.Printf("success rate %.3f below -min-success %.3f\n", rate, *minSuccess)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,106 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	want := []byte(`{"ok":true}`)
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, []byte("old old old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q, want %q", got, "new")
+	}
+}
+
+// Abort — the crash stand-in — must leave neither the destination nor any
+// temp litter behind.
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-writ")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after Abort (err=%v)", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("temp litter after Abort: %v", ents)
+	}
+}
+
+// A committed file must be invisible at the destination until Commit — the
+// "no truncated files" guarantee is precisely that readers only ever see
+// the pre-write state or the complete post-write state.
+func TestInvisibleUntilCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Abort()
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination appeared before Commit")
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after Commit: %q, %v", got, err)
+	}
+	// Abort after Commit is a no-op; the committed file survives.
+	f.Abort()
+	if _, err := os.ReadFile(path); err != nil {
+		t.Fatalf("Abort after Commit removed the file: %v", err)
+	}
+}
+
+func TestDoubleCommitFails(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Fatalf("second Commit err = %v, want already-spent error", err)
+	}
+}

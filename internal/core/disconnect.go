@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -9,6 +10,11 @@ import (
 	"leosim/internal/safe"
 	"leosim/internal/telemetry"
 )
+
+// disconnectJournalStep is one journaled snapshot of the disconnected sweep.
+type disconnectJournalStep struct {
+	Frac float64 `json:"frac"`
+}
 
 // DisconnectResult is the §5 satellite-utilization statistic: the fraction
 // of satellites entirely disconnected from the rest of the network under BP
@@ -39,17 +45,39 @@ func RunDisconnected(ctx context.Context, s *Sim) (res *DisconnectResult, err er
 	prog := telemetry.NewProgress(Progress, "disconnected", len(times))
 	defer prog.Finish()
 	var sum float64
-	for _, t := range times {
-		if ctx.Err() != nil {
-			break
-		}
-		n := s.NetworkAtCtx(ctx, t, BP)
-		frac := disconnectedSatFraction(n)
+	aggregate := func(frac float64) {
 		res.FractionPerSnapshot = append(res.FractionPerSnapshot, frac)
 		res.Min = math.Min(res.Min, frac)
 		res.Max = math.Max(res.Max, frac)
 		sum += frac
 		prog.Step(1)
+	}
+	// Replay snapshots a journaled previous run already completed.
+	jour := JournalFrom(ctx)
+	if jour != nil {
+		for _, raw := range jour.Steps("disconnected") {
+			var st disconnectJournalStep
+			if jerr := json.Unmarshal(raw, &st); jerr != nil {
+				return nil, fmt.Errorf("core: journal disconnected step: %w", jerr)
+			}
+			aggregate(st.Frac)
+			if len(res.FractionPerSnapshot) == len(times) {
+				break
+			}
+		}
+	}
+	for _, t := range times[len(res.FractionPerSnapshot):] {
+		if ctx.Err() != nil {
+			break
+		}
+		n := s.NetworkAtCtx(ctx, t, BP)
+		frac := disconnectedSatFraction(n)
+		if jour != nil {
+			if jerr := jour.Step("disconnected", disconnectJournalStep{Frac: frac}); jerr != nil {
+				return nil, jerr
+			}
+		}
+		aggregate(frac)
 	}
 	if len(res.FractionPerSnapshot) == 0 {
 		return nil, ctx.Err()

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path, "sim-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Step("latency", disconnectJournalStep{Frac: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Step("latency", disconnectJournalStep{Frac: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkDone("fig3", []byte("fig3 output\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen — the crash/restart path.
+	j2, err := OpenJournal(path, "sim-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Steps("latency"); len(got) != 2 {
+		t.Fatalf("Steps = %d, want 2", len(got))
+	}
+	if got := j2.Steps("disconnected"); len(got) != 0 {
+		t.Fatalf("unrelated experiment has %d steps", len(got))
+	}
+	out, ok := j2.DoneOutput("fig3")
+	if !ok || string(out) != "fig3 output\n" {
+		t.Fatalf("DoneOutput = %q, %v", out, ok)
+	}
+	if _, ok := j2.DoneOutput("fig4"); ok {
+		t.Fatal("fig4 reported done")
+	}
+	if j2.Len() != 4 { // header + 2 steps + 1 done
+		t.Fatalf("Len = %d, want 4", j2.Len())
+	}
+}
+
+func TestJournalRefusesForeignConfiguration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if _, err := OpenJournal(path, "starlink/reduced json=true"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(path, "kuiper/tiny json=false")
+	if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("err = %v, want configuration mismatch", err)
+	}
+}
+
+func TestJournalToleratesTruncatedTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Step("latency", disconnectJournalStep{Frac: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a non-atomic writer dying mid-line.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(data, []byte(`{"kind":"step","exp`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, "sim")
+	if err != nil {
+		t.Fatalf("truncated trailing line rejected: %v", err)
+	}
+	if got := j2.Steps("latency"); len(got) != 1 {
+		t.Fatalf("Steps = %d, want 1 (torn record dropped)", len(got))
+	}
+}
+
+func TestJournalFromContext(t *testing.T) {
+	if JournalFrom(context.Background()) != nil {
+		t.Fatal("journal in empty context")
+	}
+	j := &Journal{}
+	if JournalFrom(WithJournal(context.Background(), j)) != j {
+		t.Fatal("journal did not round-trip through context")
+	}
+}
+
+// Non-finite floats must survive the journal: +Inf ⇔ null.
+func TestJournalFloatRoundTrip(t *testing.T) {
+	inf := math.Inf(1)
+	vals := []float64{0, 1.5, 123.456789012345, inf, 1e-300}
+	ptrs := make([]*float64, len(vals))
+	for i, v := range vals {
+		ptrs[i] = finiteOrNil(v)
+	}
+	for i, p := range ptrs {
+		if got := infOrVal(p); got != vals[i] {
+			t.Fatalf("value %g round-tripped to %g", vals[i], got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -53,7 +54,42 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 	prog := telemetry.NewProgress(Progress, "latency", len(times))
 	defer prog.Finish()
 	done := 0
-	for _, t := range times {
+	aggregate := func(snap map[Mode][]float64) {
+		for _, m := range []Mode{BP, Hybrid} {
+			for i, r := range snap[m] {
+				if math.IsInf(r, 1) {
+					ok[i] = false
+					continue
+				}
+				if r < minRTT[m][i] {
+					minRTT[m][i] = r
+				}
+				if r > maxRTT[m][i] {
+					maxRTT[m][i] = r
+				}
+			}
+		}
+		done++
+		prog.Step(1)
+	}
+	// A journaled run replays the snapshots a previous (crashed or killed)
+	// run already completed, then computes only the remainder. Replayed
+	// aggregation is identical to live aggregation: journal floats
+	// round-trip exactly.
+	jour := JournalFrom(ctx)
+	if jour != nil {
+		for _, raw := range jour.Steps("latency") {
+			snap, jerr := latencySnapFromJournal(raw, nPairs)
+			if jerr != nil {
+				return nil, jerr
+			}
+			aggregate(snap)
+			if done == len(times) {
+				break
+			}
+		}
+	}
+	for _, t := range times[done:] {
 		if ctx.Err() != nil {
 			break
 		}
@@ -76,22 +112,12 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		if snap == nil {
 			break
 		}
-		for _, m := range []Mode{BP, Hybrid} {
-			for i, r := range snap[m] {
-				if math.IsInf(r, 1) {
-					ok[i] = false
-					continue
-				}
-				if r < minRTT[m][i] {
-					minRTT[m][i] = r
-				}
-				if r > maxRTT[m][i] {
-					maxRTT[m][i] = r
-				}
+		if jour != nil {
+			if jerr := jour.Step("latency", latencySnapToJournal(snap)); jerr != nil {
+				return nil, jerr
 			}
 		}
-		done++
-		prog.Step(1)
+		aggregate(snap)
 	}
 	if done == 0 {
 		if cerr := ctx.Err(); cerr != nil {
@@ -124,6 +150,43 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		return res, ctx.Err()
 	}
 	return res, nil
+}
+
+// latencyJournalStep is one journaled snapshot of the latency sweep: both
+// modes' per-pair RTTs, with nil standing in for +Inf (unreachable).
+type latencyJournalStep struct {
+	BP     []*float64 `json:"bp"`
+	Hybrid []*float64 `json:"hybrid"`
+}
+
+func latencySnapToJournal(snap map[Mode][]float64) latencyJournalStep {
+	conv := func(rtts []float64) []*float64 {
+		out := make([]*float64, len(rtts))
+		for i, r := range rtts {
+			out[i] = finiteOrNil(r)
+		}
+		return out
+	}
+	return latencyJournalStep{BP: conv(snap[BP]), Hybrid: conv(snap[Hybrid])}
+}
+
+func latencySnapFromJournal(raw json.RawMessage, nPairs int) (map[Mode][]float64, error) {
+	var st latencyJournalStep
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("core: journal latency step: %w", err)
+	}
+	if len(st.BP) != nPairs || len(st.Hybrid) != nPairs {
+		return nil, fmt.Errorf("core: journal latency step has %d/%d pairs, sim has %d — journal from a different run?",
+			len(st.BP), len(st.Hybrid), nPairs)
+	}
+	conv := func(rtts []*float64) []float64 {
+		out := make([]float64, len(rtts))
+		for i, r := range rtts {
+			out[i] = infOrVal(r)
+		}
+		return out
+	}
+	return map[Mode][]float64{BP: conv(st.BP), Hybrid: conv(st.Hybrid)}, nil
 }
 
 func fill(n int, v float64) []float64 {

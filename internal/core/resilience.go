@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -114,19 +115,62 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 		SnapshotsUsed: len(times),
 	}
 
+	// A journaled run replays the baseline and completed fractions from a
+	// previous (crashed or killed) run. Only whole fractions are journaled,
+	// mirroring the live invariant that Points never holds half a fraction.
+	jour := JournalFrom(ctx)
+	jkey := "resilience/" + string(scenario)
+	var steps []json.RawMessage
+	if jour != nil {
+		steps = jour.Steps(jkey)
+	}
+
 	// Healthy baseline through the identical code path (zero plan).
 	baseline := map[Mode]modeEval{}
-	for _, mode := range []Mode{BP, Hybrid} {
-		ev, err := s.evalFaulted(ctx, mode, nil, times)
-		if err != nil {
-			return nil, err
+	if len(steps) > 0 {
+		b, jerr := resilienceBaselineFromJournal(steps[0])
+		if jerr != nil {
+			return nil, jerr
 		}
-		baseline[mode] = *ev
+		baseline = b
+		steps = steps[1:]
+	} else {
+		for _, mode := range []Mode{BP, Hybrid} {
+			ev, err := s.evalFaulted(ctx, mode, nil, times)
+			if err != nil {
+				return nil, err
+			}
+			baseline[mode] = *ev
+		}
+		if jour != nil {
+			if jerr := jour.Step(jkey, resilienceBaselineToJournal(baseline)); jerr != nil {
+				return nil, jerr
+			}
+		}
 	}
 
 	prog := telemetry.NewProgress(Progress, "resilience", len(fractions))
 	defer prog.Finish()
-	for i, frac := range fractions {
+	start := 0
+	for _, raw := range steps {
+		if start >= len(fractions) {
+			break
+		}
+		pts, frac, jerr := resilienceFractionFromJournal(raw)
+		if jerr != nil {
+			return nil, jerr
+		}
+		if frac != fractions[start] {
+			return nil, fmt.Errorf("core: journal resilience fraction %g, sweep expects %g — journal from a different sweep?",
+				frac, fractions[start])
+		}
+		res.Points = append(res.Points, pts...)
+		res.Fractions = append(res.Fractions, frac)
+		start++
+		prog.Step(1)
+	}
+	for i := start; i < len(fractions); i++ {
+		frac := fractions[i]
 		if ctx.Err() != nil && len(res.Fractions) > 0 {
 			res.Partial = true
 			return res, ctx.Err()
@@ -172,10 +216,118 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 				ThroughputRetention: retention(ev.tput, base.tput),
 			})
 		}
+		if jour != nil {
+			if jerr := jour.Step(jkey, resilienceFractionToJournal(frac, res.Points[len(res.Points)-2:])); jerr != nil {
+				return nil, jerr
+			}
+		}
 		res.Fractions = append(res.Fractions, frac)
 		prog.Step(1)
 	}
 	return res, nil
+}
+
+// ---- journal payloads ----------------------------------------------------
+//
+// Journal floats use *float64 with nil ⇔ +Inf (see journal.go); modes are
+// stored as their integer values for exact round-trips.
+
+type resilienceEvalJSON struct {
+	Median      *float64 `json:"median"`
+	P99         *float64 `json:"p99"`
+	Unreachable float64  `json:"unreachable"`
+	Tput        float64  `json:"tput"`
+}
+
+type resiliencePointJSON struct {
+	Fraction            float64  `json:"fraction"`
+	Mode                int      `json:"mode"`
+	FailedSats          int      `json:"failedSats"`
+	FailedSites         int      `json:"failedSites"`
+	FailedISLs          int      `json:"failedIsls"`
+	MedianRTTMs         *float64 `json:"medianRttMs"`
+	P99RTTMs            *float64 `json:"p99RttMs"`
+	MedianInflationPct  *float64 `json:"medianInflationPct"`
+	P99InflationPct     *float64 `json:"p99InflationPct"`
+	UnreachableFrac     float64  `json:"unreachableFrac"`
+	ThroughputGbps      float64  `json:"throughputGbps"`
+	ThroughputRetention float64  `json:"throughputRetention"`
+}
+
+type resilienceJournalStep struct {
+	// Baseline is set on the sweep's first step only.
+	BaselineBP     *resilienceEvalJSON `json:"baselineBp,omitempty"`
+	BaselineHybrid *resilienceEvalJSON `json:"baselineHybrid,omitempty"`
+	// Fraction/Points describe one completed sweep fraction (both modes).
+	Fraction *float64              `json:"fraction,omitempty"`
+	Points   []resiliencePointJSON `json:"points,omitempty"`
+}
+
+func resilienceBaselineToJournal(baseline map[Mode]modeEval) resilienceJournalStep {
+	conv := func(ev modeEval) *resilienceEvalJSON {
+		return &resilienceEvalJSON{
+			Median: finiteOrNil(ev.median), P99: finiteOrNil(ev.p99),
+			Unreachable: ev.unreachable, Tput: ev.tput,
+		}
+	}
+	bp, hy := baseline[BP], baseline[Hybrid]
+	return resilienceJournalStep{BaselineBP: conv(bp), BaselineHybrid: conv(hy)}
+}
+
+func resilienceBaselineFromJournal(raw json.RawMessage) (map[Mode]modeEval, error) {
+	var st resilienceJournalStep
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("core: journal resilience baseline: %w", err)
+	}
+	if st.BaselineBP == nil || st.BaselineHybrid == nil {
+		return nil, fmt.Errorf("core: journal resilience sweep is missing its baseline step")
+	}
+	conv := func(e *resilienceEvalJSON) modeEval {
+		return modeEval{
+			median: infOrVal(e.Median), p99: infOrVal(e.P99),
+			unreachable: e.Unreachable, tput: e.Tput,
+		}
+	}
+	return map[Mode]modeEval{BP: conv(st.BaselineBP), Hybrid: conv(st.BaselineHybrid)}, nil
+}
+
+func resilienceFractionToJournal(frac float64, pts []ResiliencePoint) resilienceJournalStep {
+	st := resilienceJournalStep{Fraction: &frac}
+	for _, p := range pts {
+		st.Points = append(st.Points, resiliencePointJSON{
+			Fraction: p.Fraction, Mode: int(p.Mode),
+			FailedSats: p.FailedSats, FailedSites: p.FailedSites, FailedISLs: p.FailedISLs,
+			MedianRTTMs: finiteOrNil(p.MedianRTTMs), P99RTTMs: finiteOrNil(p.P99RTTMs),
+			MedianInflationPct: finiteOrNil(p.MedianInflationPct),
+			P99InflationPct:    finiteOrNil(p.P99InflationPct),
+			UnreachableFrac:    p.UnreachableFrac,
+			ThroughputGbps:     p.ThroughputGbps, ThroughputRetention: p.ThroughputRetention,
+		})
+	}
+	return st
+}
+
+func resilienceFractionFromJournal(raw json.RawMessage) ([]ResiliencePoint, float64, error) {
+	var st resilienceJournalStep
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, 0, fmt.Errorf("core: journal resilience step: %w", err)
+	}
+	if st.Fraction == nil || len(st.Points) != 2 {
+		return nil, 0, fmt.Errorf("core: journal resilience step is not a completed fraction")
+	}
+	pts := make([]ResiliencePoint, len(st.Points))
+	for i, p := range st.Points {
+		pts[i] = ResiliencePoint{
+			Fraction: p.Fraction, Mode: Mode(p.Mode),
+			FailedSats: p.FailedSats, FailedSites: p.FailedSites, FailedISLs: p.FailedISLs,
+			MedianRTTMs: infOrVal(p.MedianRTTMs), P99RTTMs: infOrVal(p.P99RTTMs),
+			MedianInflationPct: infOrVal(p.MedianInflationPct),
+			P99InflationPct:    infOrVal(p.P99InflationPct),
+			UnreachableFrac:    p.UnreachableFrac,
+			ThroughputGbps:     p.ThroughputGbps, ThroughputRetention: p.ThroughputRetention,
+		}
+	}
+	return pts, *st.Fraction, nil
 }
 
 func retention(val, base float64) float64 {

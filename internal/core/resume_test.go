@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"leosim/internal/fault"
+)
+
+// truncateJournal rewrites the journal keeping only the first keep records
+// after the header — the deterministic stand-in for a run killed after
+// exactly keep completed units.
+func truncateJournal(t *testing.T, path string, keep int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < keep+1 {
+		t.Fatalf("journal has %d lines, cannot keep header+%d", len(lines), keep)
+	}
+	if err := os.WriteFile(path, bytes.Join(lines[:keep+1], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openTestJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// A latency run resumed from a partially-complete journal must reproduce
+// the uninterrupted result exactly — same aggregation, no recomputation of
+// journaled snapshots (detected here by the step count not growing past
+// the snapshot count).
+func TestRunLatencyResumesFromJournal(t *testing.T) {
+	s := getTinySim(t)
+	ctx := context.Background()
+	want, err := RunLatency(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if _, err := RunLatency(WithJournal(ctx, openTestJournal(t, path)), s); err != nil {
+		t.Fatal(err)
+	}
+	truncateJournal(t, path, 2) // "crash" after two snapshots
+
+	j := openTestJournal(t, path)
+	got, err := RunLatency(WithJournal(ctx, j), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted result:\n got %+v\nwant %+v", got, want)
+	}
+	if steps := len(j.Steps("latency")); steps != len(s.SnapshotTimes()) {
+		t.Fatalf("journal holds %d latency steps, want %d (2 replayed + remainder)", steps, len(s.SnapshotTimes()))
+	}
+}
+
+func TestRunDisconnectedResumesFromJournal(t *testing.T) {
+	s := getTinySim(t)
+	ctx := context.Background()
+	want, err := RunDisconnected(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if _, err := RunDisconnected(WithJournal(ctx, openTestJournal(t, path)), s); err != nil {
+		t.Fatal(err)
+	}
+	truncateJournal(t, path, 1)
+
+	got, err := RunDisconnected(WithJournal(ctx, openTestJournal(t, path)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The resilience sweep journals its baseline and whole fractions; resuming
+// after a mid-sweep "crash" must replay both without drift — including the
+// +Inf ⇔ null float round-trip for unreachable medians.
+func TestRunResilienceResumesFromJournal(t *testing.T) {
+	s := getTinySim(t)
+	ctx := context.Background()
+	fractions := []float64{0, 0.5}
+	want, err := RunResilience(ctx, s, fault.SatOutage, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if _, err := RunResilience(WithJournal(ctx, openTestJournal(t, path)), s, fault.SatOutage, fractions); err != nil {
+		t.Fatal(err)
+	}
+	truncateJournal(t, path, 2) // keep baseline + first fraction
+
+	j := openTestJournal(t, path)
+	got, err := RunResilience(WithJournal(ctx, j), s, fault.SatOutage, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result differs:\n got %+v\nwant %+v", got, want)
+	}
+	if steps := len(j.Steps("resilience/" + string(fault.SatOutage))); steps != 1+len(fractions) {
+		t.Fatalf("journal holds %d resilience steps, want %d", steps, 1+len(fractions))
+	}
+
+	// A sweep with different fractions must refuse the journal, not splice.
+	if _, err := RunResilience(WithJournal(ctx, openTestJournal(t, path)), s, fault.SatOutage, []float64{0, 0.25}); err == nil {
+		t.Fatal("mismatched fractions accepted from journal")
+	}
+}

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Same seed, same sequence of injected outcomes — the property every chaos
+// test leans on.
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	outcomes := func() []bool {
+		c := NewChaos(42, 0.3, 0, 0)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, c.BuildHook("k") != nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverges between same-seed runs", i)
+		}
+	}
+}
+
+func TestChaosFailRateRoughlyHonored(t *testing.T) {
+	c := NewChaos(7, 0.3, 0, 0)
+	fails := 0
+	const N = 2000
+	for i := 0; i < N; i++ {
+		if c.BuildHook("k") != nil {
+			fails++
+		}
+	}
+	got := float64(fails) / N
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("observed fail rate %.3f, want ≈0.30", got)
+	}
+	if c.Fails() != int64(fails) || c.Draws() != N {
+		t.Fatalf("counters fails=%d draws=%d, want %d/%d", c.Fails(), c.Draws(), fails, N)
+	}
+}
+
+func TestChaosInjectedErrorIsTyped(t *testing.T) {
+	c := NewChaos(1, 1.0, 0, 0)
+	err := c.BuildHook("snap@t0")
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InjectedError", err)
+	}
+	if ie.Key != "snap@t0" || ie.N != 1 {
+		t.Fatalf("InjectedError = %+v", ie)
+	}
+}
+
+func TestChaosPanics(t *testing.T) {
+	c := NewChaos(1, 0, 1.0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicRate=1 hook did not panic")
+		}
+		if c.Panics() != 1 {
+			t.Fatalf("Panics() = %d, want 1", c.Panics())
+		}
+	}()
+	c.BuildHook("k")
+}
+
+func TestChaosDelayUsesInjectedSleep(t *testing.T) {
+	c := NewChaos(1, 0, 0, 50*time.Millisecond)
+	var slept time.Duration
+	c.Sleep = func(d time.Duration) { slept += d }
+	if err := c.BuildHook("k"); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 50*time.Millisecond {
+		t.Fatalf("slept %v, want 50ms", slept)
+	}
+}
+
+// A nil injector must be safe to call — the serve path uses one hook
+// variable whether or not chaos is configured.
+func TestNilChaosIsNoop(t *testing.T) {
+	var c *Chaos
+	if err := c.BuildHook("k"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leosim/internal/fault"
+)
+
+// chaosURL builds the /v1/path query for one (snapshot, mode) cache key.
+func chaosURL(t *testing.T, s *Server, snap int, mode string) string {
+	t.Helper()
+	sim := serverSim(t)
+	return q("/v1/path",
+		"src", sim.CityName(sim.Pairs[0].Src), "dst", sim.CityName(sim.Pairs[0].Dst),
+		"snap", strconv.Itoa(snap), "mode", mode)
+}
+
+// get runs one request and returns the recorder.
+func get(s *Server, url string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+// The chaos acceptance criterion: with seeded injection failing (or
+// panicking) over a third of snapshot builds, a client retrying a handful of
+// times must succeed ≥95% of the time — and once a key's snapshot is
+// resident, it must never see a 5xx again, because stale-while-revalidate
+// absorbs every background rebuild failure. The injector is seeded, so the
+// fault stream is reproducible; the assertions hold for any goroutine
+// interleaving, so the test is deterministic under -race as well.
+func TestChaosStormServesResidentKeysWithoutErrors(t *testing.T) {
+	chaos := fault.NewChaos(42, 0.30, 0.05, 0)
+	s := newTestServer(t, Config{
+		CacheTTL:        time.Millisecond, // nearly every storm request is past TTL
+		CacheStaleFor:   time.Hour,        // but far from hard expiry
+		BreakerCooldown: 50 * time.Millisecond,
+		Chaos:           chaos,
+		MaxInFlight:     64,
+	})
+
+	// Prime every (snapshot, mode) key, retrying through injected failures.
+	// These pre-residency attempts are the only ones allowed to fail.
+	var attempts, failures int
+	urls := make([]string, 0, 4)
+	for snap := 0; snap < 2; snap++ {
+		for _, mode := range []string{"bp", "hybrid"} {
+			url := chaosURL(t, s, snap, mode)
+			urls = append(urls, url)
+			primed := false
+			for try := 0; try < 50 && !primed; try++ {
+				attempts++
+				switch code := get(s, url).Code; code {
+				case http.StatusOK:
+					primed = true
+				case http.StatusInternalServerError, http.StatusServiceUnavailable:
+					failures++
+					time.Sleep(10 * time.Millisecond) // breaker cooldown headroom
+				default:
+					t.Fatalf("prime %s: unexpected status %d", url, code)
+				}
+			}
+			if !primed {
+				t.Fatalf("key %s not primed after 50 attempts", url)
+			}
+		}
+	}
+
+	// The storm: concurrent requests for primed keys only, with rebuilds
+	// failing in the background the whole time.
+	const workers, perWorker = 8, 25
+	var non200 atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := get(s, urls[(w+i)%len(urls)])
+				if rec.Code != http.StatusOK {
+					non200.Add(1)
+					t.Errorf("resident key: status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if non200.Load() != 0 {
+		t.Fatalf("%d non-200 responses for resident keys, want 0", non200.Load())
+	}
+	total := attempts + workers*perWorker
+	rate := float64(total-failures) / float64(total)
+	if rate < 0.95 {
+		t.Fatalf("success rate %.3f (%d/%d), want ≥ 0.95", rate, total-failures, total)
+	}
+	// The run must actually have been chaotic, and the resilience visible.
+	if chaos.Fails() == 0 {
+		t.Fatal("chaos injected no failures — the storm proved nothing")
+	}
+	if st := s.cache.Stats(); st.StaleServes == 0 {
+		t.Errorf("no stale serves recorded during the storm: %+v", st)
+	}
+	var metrics struct {
+		Server struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"server"`
+	}
+	if rec := getJSON(t, s.Handler(), "/metrics", &metrics); rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if metrics.Server.Counters["staleResponses"] == 0 {
+		t.Errorf("staleResponses counter = 0 after a stale-serving storm")
+	}
+	t.Logf("chaos storm: %d requests, %d prime failures, rate %.3f, injector %d/%d fail/panic",
+		total, failures, rate, chaos.Fails(), chaos.Panics())
+}
+
+// With every build failing, the breaker must trip after the configured
+// streak and convert further misses from 500s into fast 503s that carry a
+// cooldown-derived Retry-After.
+func TestChaosBreakerOpensEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{
+		Chaos:            fault.NewChaos(7, 1.0, 0, 0),
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	})
+	url := chaosURL(t, s, 0, "bp")
+
+	for i := 0; i < 3; i++ {
+		if rec := get(s, url); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("build %d: status %d, want 500 while the breaker is closed", i, rec.Code)
+		}
+	}
+	rec := get(s, url)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-trip request: status %d, want 503", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 3600 {
+		t.Fatalf("Retry-After = %q, want ≥ 3600s (the 1h cooldown)", rec.Header().Get("Retry-After"))
+	}
+
+	var metrics struct {
+		Server struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		} `json:"server"`
+		Breaker breakerJSON `json:"breaker"`
+	}
+	if rec := getJSON(t, s.Handler(), "/metrics", &metrics); rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if metrics.Breaker.State != "open" || metrics.Breaker.FailureStreak < 3 || metrics.Breaker.Opens != 1 {
+		t.Errorf("breaker block = %+v, want open with streak ≥ 3 and 1 open", metrics.Breaker)
+	}
+	if metrics.Server.Counters["breakerRejects"] < 1 {
+		t.Errorf("breakerRejects counter = %d, want ≥ 1", metrics.Server.Counters["breakerRejects"])
+	}
+	if metrics.Server.Gauges["breaker_state"] != 2 || metrics.Server.Gauges["build_failure_streak"] < 3 {
+		t.Errorf("breaker gauges = state %d streak %d, want state 2 (open), streak ≥ 3",
+			metrics.Server.Gauges["breaker_state"], metrics.Server.Gauges["build_failure_streak"])
+	}
+}
+
+// A hybrid-mode build failure with a resident BP snapshot for the same
+// instant degrades to the BP copy (200 + degraded marker) instead of a 500.
+// Seed 10 at FailRate 0.5 draws ok, fail, ok — so the BP prime succeeds, the
+// first hybrid build fails, and the hybrid retry heals.
+func TestChaosHybridDegradesToBPFallback(t *testing.T) {
+	s := newTestServer(t, Config{
+		Chaos:            fault.NewChaos(10, 0.5, 0, 0),
+		BreakerThreshold: -1, // isolate the fallback ladder from breaker effects
+	})
+
+	if rec := get(s, chaosURL(t, s, 0, "bp")); rec.Code != http.StatusOK {
+		t.Fatalf("BP prime: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp pathResponse
+	rec := getJSON(t, s.Handler(), chaosURL(t, s, 0, "hybrid"), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hybrid with failed build: status %d, want 200 via BP fallback: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Degraded != "bp-fallback" {
+		t.Fatalf("degraded = %q, want bp-fallback", resp.Degraded)
+	}
+	if resp.Path == nil || !resp.Path.Reachable {
+		t.Fatal("degraded response lacks a usable path")
+	}
+	if got := s.degraded.Value(); got != 1 {
+		t.Errorf("degradedResponses = %d, want 1", got)
+	}
+
+	// The third draw succeeds: the hybrid key heals and serves undegraded.
+	resp = pathResponse{}
+	if rec := getJSON(t, s.Handler(), chaosURL(t, s, 0, "hybrid"), &resp); rec.Code != http.StatusOK {
+		t.Fatalf("hybrid retry: status %d", rec.Code)
+	}
+	if resp.Degraded != "" {
+		t.Errorf("healed response still degraded: %q", resp.Degraded)
+	}
+}
+
+// Retry-After is load- and breaker-derived with jitter — never the old
+// hardcoded 1. On an idle server the base is 1s, jitter adds up to 50%.
+func TestRetryAfterLoadDerivedAndJittered(t *testing.T) {
+	s := newTestServer(t, Config{})
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d := s.retryAfter(0)
+		if d < time.Second || d > 1500*time.Millisecond {
+			t.Fatalf("retryAfter = %v, want within [1s, 1.5s] on an idle server", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Error("retryAfter returned one constant value across 100 draws — jitter missing")
+	}
+	// A floor (e.g. the breaker's cooldown hint) raises the base.
+	if d := s.retryAfter(10 * time.Second); d < 10*time.Second || d > 15*time.Second {
+		t.Errorf("floored retryAfter = %v, want within [10s, 15s]", d)
+	}
+	for _, c := range []struct {
+		d    time.Duration
+		want string
+	}{{0, "1"}, {time.Second, "1"}, {1400 * time.Millisecond, "2"}, {3 * time.Second, "3"}} {
+		if got := retryAfterHeader(c.d); got != c.want {
+			t.Errorf("retryAfterHeader(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

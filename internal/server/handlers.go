@@ -40,6 +40,48 @@ func (s *Server) cacheKey(t time.Time, mode core.Mode, mask string) snapcache.Ke
 	}
 }
 
+// snapMeta describes how a snapshot was obtained, for the response envelope.
+type snapMeta struct {
+	// Stale: the snapshot is past its TTL and served under
+	// stale-while-revalidate (a background rebuild is in motion).
+	Stale bool
+	// Degraded names the fallback that saved the response from a 5xx:
+	// "" (none), "stale-cache" (build failed, resident copy served), or
+	// "bp-fallback" (hybrid build failed, resident BP-only snapshot served —
+	// conservative routing: BP paths exist in the hybrid graph too).
+	Degraded string
+}
+
+// snapshot fetches the network for one snapshot, degrading instead of
+// failing wherever an older answer can absorb the fault: a build error is
+// downgraded to a stale resident copy of the same key, and a hybrid-mode
+// build error to a resident BP-only snapshot. Context expiry is the
+// client's own doing and never degrades.
+func (s *Server) snapshot(ctx context.Context, t time.Time, mode core.Mode, mask string) (*graph.Network, snapMeta, error) {
+	key := s.cacheKey(t, mode, mask)
+	n, info, err := s.cache.GetEx(ctx, key)
+	if err == nil {
+		if info.Stale {
+			s.staleResponses.Add(1)
+		}
+		return n, snapMeta{Stale: info.Stale}, nil
+	}
+	if ctx.Err() != nil {
+		return nil, snapMeta{}, err
+	}
+	if n, info, ok := s.cache.GetCached(key); ok {
+		s.degraded.Add(1)
+		return n, snapMeta{Stale: info.Stale, Degraded: "stale-cache"}, nil
+	}
+	if mode == core.Hybrid {
+		if n, info, ok := s.cache.GetCached(s.cacheKey(t, core.BP, mask)); ok {
+			s.degraded.Add(1)
+			return n, snapMeta{Stale: info.Stale, Degraded: "bp-fallback"}, nil
+		}
+	}
+	return nil, snapMeta{}, err
+}
+
 // buildSnapshot is the cache's BuildFunc: it re-derives mode and fault mask
 // from the key and runs a fresh side-effect-free build. Keeping the key →
 // build mapping pure is what makes cached snapshots trustworthy: two
@@ -195,11 +237,13 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // fail maps an error to its status code and counts it. The ladder mirrors
 // the failure modes the admission pipeline produces: client-side parse
-// errors, unknown cities, a cancelled client, an expired deadline, and —
-// only then — a genuine server fault.
+// errors, unknown cities, an open build breaker (503 + Retry-After — the
+// fault is transient by construction), a cancelled client, an expired
+// deadline, and — only then — a genuine server fault.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var br *badRequestError
 	var nf *notFoundError
+	var boe *snapcache.BreakerOpenError
 	switch {
 	case errors.As(err, &br):
 		s.badRequests.Add(1)
@@ -207,6 +251,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case errors.As(err, &nf):
 		s.notFound.Add(1)
 		writeError(w, http.StatusNotFound, nf.msg)
+	case errors.As(err, &boe):
+		s.breakerTrips.Add(1)
+		w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter(boe.RetryAfter)))
+		writeError(w, http.StatusServiceUnavailable, "snapshot builds suspended: "+err.Error())
 	case errors.Is(err, context.Canceled):
 		s.cancelled.Add(1)
 		writeError(w, statusClientClosedRequest, "request cancelled by client")
@@ -222,12 +270,14 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 // ---- endpoints ----------------------------------------------------------
 
 type pathResponse struct {
-	Time  time.Time       `json:"time"`
-	Mode  string          `json:"mode"`
-	Src   string          `json:"src"`
-	Dst   string          `json:"dst"`
-	Fault string          `json:"fault,omitempty"`
-	Path  *core.PathQuery `json:"path"`
+	Time     time.Time       `json:"time"`
+	Mode     string          `json:"mode"`
+	Src      string          `json:"src"`
+	Dst      string          `json:"dst"`
+	Fault    string          `json:"fault,omitempty"`
+	Stale    bool            `json:"stale,omitempty"`
+	Degraded string          `json:"degraded,omitempty"`
+	Path     *core.PathQuery `json:"path"`
 }
 
 // handlePath answers GET /v1/path?src=&dst=[&snap=|&t=][&mode=][&fault=...]:
@@ -259,25 +309,28 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	q, err := s.pathAt(ctx, t, mode, mask, src, dst)
+	q, meta, err := s.pathAt(ctx, t, mode, mask, src, dst)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, pathResponse{
 		Time: t, Mode: mode.String(), Fault: mask,
+		Stale: meta.Stale, Degraded: meta.Degraded,
 		Src: s.cfg.Sim.CityName(src), Dst: s.cfg.Sim.CityName(dst),
 		Path: q,
 	})
 }
 
-// pathAt fetches (or builds, once) the snapshot and routes over it.
-func (s *Server) pathAt(ctx context.Context, t time.Time, mode core.Mode, mask string, src, dst int) (*core.PathQuery, error) {
-	n, err := s.cache.Get(ctx, s.cacheKey(t, mode, mask))
+// pathAt fetches (or builds, once, possibly degraded) the snapshot and
+// routes over it.
+func (s *Server) pathAt(ctx context.Context, t time.Time, mode core.Mode, mask string, src, dst int) (*core.PathQuery, snapMeta, error) {
+	n, meta, err := s.snapshot(ctx, t, mode, mask)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
-	return s.cfg.Sim.PathAt(ctx, n, src, dst)
+	q, err := s.cfg.Sim.PathAt(ctx, n, src, dst)
+	return q, meta, err
 }
 
 type latencySample struct {
@@ -287,12 +340,17 @@ type latencySample struct {
 }
 
 type latencyResponse struct {
-	Mode    string          `json:"mode"`
-	Src     string          `json:"src"`
-	Dst     string          `json:"dst"`
-	Fault   string          `json:"fault,omitempty"`
-	Samples []latencySample `json:"samples"`
-	Summary struct {
+	Mode  string `json:"mode"`
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Fault string `json:"fault,omitempty"`
+	// Stale: at least one sample was served from an expired snapshot under
+	// stale-while-revalidate. Degraded: at least one sample needed a
+	// fallback snapshot; the value is the first fallback used.
+	Stale    bool            `json:"stale,omitempty"`
+	Degraded string          `json:"degraded,omitempty"`
+	Samples  []latencySample `json:"samples"`
+	Summary  struct {
 		MinMs     float64 `json:"minMs"`
 		MaxMs     float64 `json:"maxMs"`
 		MeanMs    float64 `json:"meanMs"`
@@ -344,10 +402,14 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, err)
 			return
 		}
-		q, err := s.pathAt(ctx, t, mode, mask, src, dst)
+		q, meta, err := s.pathAt(ctx, t, mode, mask, src, dst)
 		if err != nil {
 			s.fail(w, err)
 			return
+		}
+		resp.Stale = resp.Stale || meta.Stale
+		if resp.Degraded == "" {
+			resp.Degraded = meta.Degraded
 		}
 		sample := latencySample{Time: t, Reachable: q.Reachable}
 		if q.Reachable {
@@ -378,6 +440,8 @@ type reachabilityResponse struct {
 	Mode         string                  `json:"mode"`
 	Src          string                  `json:"src,omitempty"`
 	Fault        string                  `json:"fault,omitempty"`
+	Stale        bool                    `json:"stale,omitempty"`
+	Degraded     string                  `json:"degraded,omitempty"`
 	Reachability *core.ReachabilityQuery `json:"reachability"`
 }
 
@@ -409,7 +473,7 @@ func (s *Server) handleReachability(w http.ResponseWriter, r *http.Request) {
 		}
 		srcName = s.cfg.Sim.CityName(src)
 	}
-	n, err := s.cache.Get(ctx, s.cacheKey(t, mode, mask))
+	n, meta, err := s.snapshot(ctx, t, mode, mask)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -420,7 +484,8 @@ func (s *Server) handleReachability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, reachabilityResponse{
-		Time: t, Mode: mode.String(), Src: srcName, Fault: mask, Reachability: q,
+		Time: t, Mode: mode.String(), Src: srcName, Fault: mask,
+		Stale: meta.Stale, Degraded: meta.Degraded, Reachability: q,
 	})
 }
 
@@ -431,8 +496,22 @@ type cacheStatsJSON struct {
 	Evictions   int64   `json:"evictions"`
 	Expirations int64   `json:"expirations"`
 	Errors      int64   `json:"errors"`
+	StaleServes int64   `json:"staleServes"`
+	Timeouts    int64   `json:"buildTimeouts"`
+	LateBuilds  int64   `json:"lateBuilds"`
+	FastFails   int64   `json:"fastFails"`
 	HitRate     float64 `json:"hitRate"`
 	Resident    int     `json:"resident"`
+}
+
+// breakerJSON is the live circuit-breaker position in /metrics and
+// /v1/snapshots: the state name, the consecutive-failure streak feeding the
+// trip threshold, and the seconds until a retry is worth attempting.
+type breakerJSON struct {
+	State         string  `json:"state"`
+	FailureStreak int64   `json:"failureStreak"`
+	RetryAfterSec float64 `json:"retryAfterSec,omitempty"`
+	Opens         int64   `json:"opens"`
 }
 
 func (s *Server) cacheStatsJSON() cacheStatsJSON {
@@ -440,7 +519,19 @@ func (s *Server) cacheStatsJSON() cacheStatsJSON {
 	return cacheStatsJSON{
 		Hits: st.Hits, Misses: st.Misses, Builds: st.Builds,
 		Evictions: st.Evictions, Expirations: st.Expirations, Errors: st.Errors,
+		StaleServes: st.StaleServes, Timeouts: st.Timeouts,
+		LateBuilds: st.LateBuilds, FastFails: st.FastFails,
 		HitRate: st.HitRate(), Resident: s.cache.Len(),
+	}
+}
+
+func (s *Server) breakerJSON() breakerJSON {
+	br := s.cache.Breaker()
+	return breakerJSON{
+		State:         br.State.String(),
+		FailureStreak: br.FailureStreak,
+		RetryAfterSec: br.RetryAfter.Seconds(),
+		Opens:         s.cache.Stats().BreakerOpens,
 	}
 }
 
@@ -484,6 +575,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type metricsResponse struct {
 	Server  telemetry.RegistrySnapshot             `json:"server"`
 	Cache   cacheStatsJSON                         `json:"cache"`
+	Breaker breakerJSON                            `json:"breaker"`
 	Stages  map[string]telemetry.HistogramSnapshot `json:"stages,omitempty"`
 	Runtime telemetry.RuntimeStats                 `json:"runtime"`
 }
@@ -496,6 +588,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := metricsResponse{
 		Server:  s.reg.Snapshot(),
 		Cache:   s.cacheStatsJSON(),
+		Breaker: s.breakerJSON(),
 		Runtime: telemetry.SampleRuntime(),
 	}
 	if reg := telemetry.Active(); reg != nil {

@@ -26,14 +26,17 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"leosim/internal/core"
+	"leosim/internal/fault"
 	"leosim/internal/snapcache"
 	"leosim/internal/telemetry"
 )
@@ -49,6 +52,25 @@ type Config struct {
 	// CacheTTL expires cached snapshots (default 0: never — snapshot
 	// graphs for a fixed scenario are immutable).
 	CacheTTL time.Duration
+	// CacheStaleFor extends expired snapshots' lives: within the window a
+	// stale snapshot is served (responses carry "stale": true) while one
+	// background rebuild runs. Zero disables stale-while-revalidate;
+	// meaningless without CacheTTL.
+	CacheStaleFor time.Duration
+	// BuildTimeout bounds each snapshot build. Zero means no bound beyond
+	// the per-request deadline.
+	BuildTimeout time.Duration
+	// BreakerThreshold trips the snapshot-build circuit breaker after this
+	// many consecutive build failures (default 5; negative disables). While
+	// open, misses fail fast with 503 + Retry-After instead of hammering a
+	// broken build path; stale snapshots keep serving.
+	BreakerThreshold int
+	// BreakerCooldown is how long the open breaker waits before one probe
+	// build (default: snapcache's own 5s).
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, injects seeded faults (errors, delays, panics)
+	// into every snapshot build — the chaos-testing hook. Nil in production.
+	Chaos *fault.Chaos
 	// MaxInFlight caps concurrently executing queries; excess requests
 	// receive 429 (default 2×GOMAXPROCS).
 	MaxInFlight int
@@ -77,6 +99,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0 // disabled explicitly
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 5
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 15 * time.Second
@@ -115,10 +143,11 @@ type Server struct {
 	// histograms. Per-server (not the process-global telemetry registry) so
 	// several instances — e.g. test servers — never share a namespace. The
 	// cache's counters surface as pull-style gauges on the same registry.
-	reg                                   *telemetry.Registry
-	requests, shed, cancelled, timeouts   *telemetry.Counter
-	badRequests, notFound, internalErrors *telemetry.Counter
-	inflight                              *telemetry.Gauge
+	reg                                    *telemetry.Registry
+	requests, shed, cancelled, timeouts    *telemetry.Counter
+	badRequests, notFound, internalErrors  *telemetry.Counter
+	degraded, staleResponses, breakerTrips *telemetry.Counter
+	inflight                               *telemetry.Gauge
 }
 
 // New builds a Server for cfg.
@@ -134,8 +163,14 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 	}
 	s.cache = snapcache.New(s.buildSnapshot, snapcache.Options{
-		Capacity: cfg.CacheSize,
-		TTL:      cfg.CacheTTL,
+		Capacity:         cfg.CacheSize,
+		TTL:              cfg.CacheTTL,
+		StaleFor:         cfg.CacheStaleFor,
+		BuildTimeout:     cfg.BuildTimeout,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		// fault.Chaos is nil-safe, so the hook is wired unconditionally.
+		BuildHook: func(k snapcache.Key) error { return cfg.Chaos.BuildHook(k.String()) },
 	})
 	s.log = cfg.Logger
 
@@ -152,6 +187,13 @@ func New(cfg Config) (*Server, error) {
 	s.badRequests = s.reg.Counter("badRequests")
 	s.notFound = s.reg.Counter("notFound")
 	s.internalErrors = s.reg.Counter("internalErrors")
+	// Degraded-mode accounting: responses answered from a stale or fallback
+	// snapshot (200 with a "degraded" field where a plain server would 5xx),
+	// responses served stale under stale-while-revalidate, and requests
+	// rejected by the open build breaker (503).
+	s.degraded = s.reg.Counter("degradedResponses")
+	s.staleResponses = s.reg.Counter("staleResponses")
+	s.breakerTrips = s.reg.Counter("breakerRejects")
 	s.inflight = s.reg.Gauge("inflight")
 	// Snapshot-cache counters as pull-style gauges: read at snapshot time
 	// from the cache's own atomics, never copied on the request path.
@@ -166,6 +208,15 @@ func New(cfg Config) (*Server, error) {
 		return st.Misses - st.Builds
 	})
 	s.reg.RegisterGaugeFunc("cache_resident", func() int64 { return int64(s.cache.Len()) })
+	// Self-healing surface: stale serves, abandoned/adopted builds, and the
+	// live breaker position (0 closed, 1 half-open, 2 open) with its
+	// consecutive-failure streak.
+	s.reg.RegisterGaugeFunc("cache_stale_serves", func() int64 { return s.cache.Stats().StaleServes })
+	s.reg.RegisterGaugeFunc("cache_build_timeouts", func() int64 { return s.cache.Stats().Timeouts })
+	s.reg.RegisterGaugeFunc("cache_late_builds", func() int64 { return s.cache.Stats().LateBuilds })
+	s.reg.RegisterGaugeFunc("cache_fast_fails", func() int64 { return s.cache.Stats().FastFails })
+	s.reg.RegisterGaugeFunc("breaker_state", func() int64 { return int64(s.cache.Breaker().State) })
+	s.reg.RegisterGaugeFunc("build_failure_streak", func() int64 { return s.cache.Breaker().FailureStreak })
 
 	s.mux = http.NewServeMux()
 	// Query endpoints: admission-controlled and deadline-bounded, with a
@@ -258,6 +309,35 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // CacheStats exposes the snapshot-cache counters (tests, /v1/snapshots).
 func (s *Server) CacheStats() snapcache.Stats { return s.cache.Stats() }
 
+// retryAfter derives the Retry-After hint for shed (429) and breaker (503)
+// responses from live pressure, not a constant: the base grows with query
+// pool saturation, stretches to the breaker's remaining cooldown when the
+// circuit is open (retrying sooner is provably pointless), and carries up
+// to 50% random jitter so a synchronized client fleet doesn't thunder back
+// in lockstep. floor is a caller-supplied lower bound (e.g. the cooldown
+// from the specific BreakerOpenError being reported).
+func (s *Server) retryAfter(floor time.Duration) time.Duration {
+	load := float64(len(s.sem)) / float64(cap(s.sem))
+	base := time.Duration((1 + load) * float64(time.Second))
+	if br := s.cache.Breaker(); br.State != snapcache.BreakerClosed && br.RetryAfter > base {
+		base = br.RetryAfter
+	}
+	if floor > base {
+		base = floor
+	}
+	return base + time.Duration(rand.Int63n(int64(base)/2+1))
+}
+
+// retryAfterHeader renders a duration as the integral-seconds Retry-After
+// header value, rounding up so the hint never undershoots.
+func retryAfterHeader(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // limited wraps a query handler with admission control and the per-request
 // deadline. Shedding replies 429 with Retry-After so well-behaved clients
 // back off.
@@ -268,7 +348,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter(0)))
 			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 			return
 		}

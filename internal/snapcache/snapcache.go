@@ -4,7 +4,7 @@
 // same constellation epoch must route over one graph built once, not once
 // per request.
 //
-// Three mechanisms compose:
+// Mechanisms, composing from plain caching to self-healing:
 //
 //   - Singleflight: concurrent Gets for the same key elect one builder; the
 //     rest wait for its result. A waiter whose context expires gives up
@@ -16,6 +16,19 @@
 //     access, which bounds staleness when the backing scenario can change
 //     (a zero TTL disables expiry — snapshot graphs for a fixed scenario
 //     are immutable).
+//   - Stale-while-revalidate: an entry past its TTL but within StaleFor is
+//     served immediately, marked Stale, while one background rebuild runs.
+//     Readers never block on — or 5xx because of — a refresh that the old
+//     answer could absorb.
+//   - Build timeout: each build gets a deadline. A timed-out build fails
+//     its waiters promptly, but if the build later completes anyway its
+//     result is adopted into the cache (self-healing, not wasted).
+//   - Circuit breaker: consecutive build failures trip the cache open;
+//     further misses fail fast with a BreakerOpenError carrying a
+//     Retry-After hint instead of hammering a broken backend. After a
+//     cooldown one probe build half-opens the breaker; success closes it.
+//     Stale entries keep serving throughout — the breaker only guards
+//     *new* build work.
 package snapcache
 
 import (
@@ -64,15 +77,47 @@ type Options struct {
 	// TTL expires entries this long after their build completed; zero
 	// means entries never expire.
 	TTL time.Duration
-	// Clock overrides time.Now for TTL tests.
+	// StaleFor extends each entry's life past its TTL: within the window
+	// the stale entry is served (marked Stale) while a background rebuild
+	// runs; past it the entry is a hard miss. Zero disables
+	// stale-while-revalidate. Ignored when TTL is zero.
+	StaleFor time.Duration
+	// BuildTimeout bounds each build. A build that exceeds it fails its
+	// waiters with context.DeadlineExceeded (feeding the breaker), but a
+	// late successful result is still adopted into the cache. Zero means
+	// no bound.
+	BuildTimeout time.Duration
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive build failures; zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting one
+	// probe build through (default 5s when the breaker is enabled).
+	BreakerCooldown time.Duration
+	// BuildHook, when non-nil, runs at the start of every build (in the
+	// build goroutine). An error or panic fails the build exactly as if
+	// the BuildFunc had failed — the chaos-injection point.
+	BuildHook func(key Key) error
+	// Clock overrides time.Now for TTL/breaker tests.
 	Clock func() time.Time
 }
 
 // Stats are cumulative cache counters. Hits+Misses counts Gets; Builds
 // counts invocations of the build function (Misses > Builds when
-// singleflight coalesced concurrent misses).
+// singleflight coalesced concurrent misses). StaleServes counts hits
+// served past TTL under stale-while-revalidate (also included in Hits).
 type Stats struct {
 	Hits, Misses, Builds, Evictions, Expirations, Errors int64
+	// StaleServes counts Gets answered with an expired-but-valid entry.
+	StaleServes int64
+	// Timeouts counts builds that exceeded BuildTimeout.
+	Timeouts int64
+	// LateBuilds counts timed-out builds whose eventual success was
+	// adopted into the cache anyway.
+	LateBuilds int64
+	// FastFails counts Gets rejected by an open breaker without a build.
+	FastFails int64
+	// BreakerOpens counts closed→open transitions.
+	BreakerOpens int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before the first Get.
@@ -81,6 +126,61 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Info describes how a Get was answered.
+type Info struct {
+	// Stale is set when the entry was served past its TTL while a
+	// background rebuild proceeds (stale-while-revalidate).
+	Stale bool
+	// Age is how long ago the served entry was built (zero for an entry
+	// built by this very Get).
+	Age time.Duration
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: builds flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: one probe build is in flight; other misses fast-fail.
+	BreakerHalfOpen
+	// BreakerOpen: misses fast-fail until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// BreakerStatus snapshots the breaker for metrics and Retry-After hints.
+type BreakerStatus struct {
+	State BreakerState
+	// FailureStreak is the current run of consecutive build failures.
+	FailureStreak int64
+	// RetryAfter estimates when a build is worth attempting again: zero
+	// when closed, the remaining cooldown when open.
+	RetryAfter time.Duration
+}
+
+// BreakerOpenError is returned by Get when the circuit breaker rejects a
+// build without attempting it.
+type BreakerOpenError struct {
+	// RetryAfter is the cooldown remaining before the next probe.
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("snapcache: circuit breaker open (retry in %s)", e.RetryAfter.Round(time.Millisecond))
 }
 
 type entry struct {
@@ -102,10 +202,15 @@ type call struct {
 
 // Cache is the snapshot cache. The zero value is not usable; call New.
 type Cache struct {
-	build BuildFunc
-	cap   int
-	ttl   time.Duration
-	now   func() time.Time
+	build        BuildFunc
+	hook         func(Key) error
+	cap          int
+	ttl          time.Duration
+	staleFor     time.Duration
+	buildTimeout time.Duration
+	brThreshold  int
+	brCooldown   time.Duration
+	now          func() time.Time
 
 	mu       sync.Mutex
 	entries  map[Key]*entry
@@ -113,7 +218,15 @@ type Cache struct {
 	inflight map[Key]*call
 	gen      uint64 // bumped by Purge; guards stale in-flight inserts
 
+	// Breaker state, guarded by mu.
+	streak   int64 // consecutive build failures
+	brOpen   bool
+	brProbe  bool // a half-open probe build is in flight
+	openedAt time.Time
+
 	hits, misses, builds, evictions, expirations, errors atomic.Int64
+	staleServes, timeouts, lateBuilds                    atomic.Int64
+	fastFails, breakerOpens                              atomic.Int64
 }
 
 // New creates a cache that builds missing snapshots with build.
@@ -127,14 +240,22 @@ func New(build BuildFunc, opts Options) *Cache {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.BreakerThreshold > 0 && opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
 	return &Cache{
-		build:    build,
-		cap:      opts.Capacity,
-		ttl:      opts.TTL,
-		now:      opts.Clock,
-		entries:  map[Key]*entry{},
-		lru:      list.New(),
-		inflight: map[Key]*call{},
+		build:        build,
+		hook:         opts.BuildHook,
+		cap:          opts.Capacity,
+		ttl:          opts.TTL,
+		staleFor:     opts.StaleFor,
+		buildTimeout: opts.BuildTimeout,
+		brThreshold:  opts.BreakerThreshold,
+		brCooldown:   opts.BreakerCooldown,
+		now:          opts.Clock,
+		entries:      map[Key]*entry{},
+		lru:          list.New(),
+		inflight:     map[Key]*call{},
 	}
 }
 
@@ -143,24 +264,46 @@ func New(build BuildFunc, opts Options) *Cache {
 // without a network if ctx is done before the build finishes; the build is
 // not abandoned on behalf of one impatient caller.
 func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
+	n, _, err := c.GetEx(ctx, key)
+	return n, err
+}
+
+// GetEx is Get plus an Info describing how the request was answered —
+// notably whether the served snapshot is stale (expired but inside the
+// stale-while-revalidate window, with a background rebuild in motion).
+func (c *Cache) GetEx(ctx context.Context, key Key) (*graph.Network, Info, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
 	// The span's stage is classified at the end — the lookup's outcome (hit,
 	// singleflight wait, or leader miss) is not known at entry.
 	sp := telemetry.StartSpan(ctx, telemetry.StageCacheHit)
 	c.mu.Lock()
+	now := c.now()
 	if e, ok := c.entries[key]; ok {
-		if c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl {
+		age := now.Sub(e.builtAt)
+		switch {
+		case c.ttl <= 0 || age < c.ttl:
+			c.lru.MoveToFront(e.elem)
+			c.hits.Add(1)
+			n := e.n
+			c.mu.Unlock()
+			sp.EndAs(telemetry.StageCacheHit)
+			return n, Info{Age: age}, nil
+		case c.staleFor > 0 && age < c.ttl+c.staleFor:
+			// Expired but servable: answer now, refresh in the background.
+			c.lru.MoveToFront(e.elem)
+			c.hits.Add(1)
+			c.staleServes.Add(1)
+			c.revalidateLocked(ctx, key, now)
+			n := e.n
+			c.mu.Unlock()
+			sp.EndAs(telemetry.StageCacheHit)
+			return n, Info{Stale: true, Age: age}, nil
+		default:
 			c.lru.Remove(e.elem)
 			delete(c.entries, key)
 			c.expirations.Add(1)
-		} else {
-			c.lru.MoveToFront(e.elem)
-			c.hits.Add(1)
-			c.mu.Unlock()
-			sp.EndAs(telemetry.StageCacheHit)
-			return e.n, nil
 		}
 	}
 	c.misses.Add(1)
@@ -170,68 +313,215 @@ func (c *Cache) Get(ctx context.Context, key Key) (*graph.Network, error) {
 		defer sp.EndAs(telemetry.StageCacheWait)
 		select {
 		case <-cl.done:
-			return cl.n, cl.err
+			return cl.n, Info{}, cl.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, Info{}, ctx.Err()
 		}
 	}
-	cl := &call{done: make(chan struct{}), gen: c.gen}
-	c.inflight[key] = cl
+	if allow, retry := c.allowBuildLocked(now); !allow {
+		c.fastFails.Add(1)
+		c.mu.Unlock()
+		sp.EndAs(telemetry.StageCacheMiss)
+		return nil, Info{}, &BreakerOpenError{RetryAfter: retry}
+	}
+	cl := c.startBuildLocked(ctx, key)
 	c.mu.Unlock()
 
+	defer sp.EndAs(telemetry.StageCacheMiss)
+	select {
+	case <-cl.done:
+		return cl.n, Info{}, cl.err
+	case <-ctx.Done():
+		return nil, Info{}, ctx.Err()
+	}
+}
+
+// GetCached returns the resident entry for key if one exists within its
+// servable window (TTL, extended by StaleFor), without ever building. It
+// is the degraded-fallback probe: "do we have *anything* usable for this
+// key right now?". No counters move and no revalidation starts.
+func (c *Cache) GetCached(key Key) (*graph.Network, Info, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, Info{}, false
+	}
+	age := c.now().Sub(e.builtAt)
+	if c.ttl > 0 && age >= c.ttl+c.staleFor {
+		return nil, Info{}, false
+	}
+	return e.n, Info{Stale: c.ttl > 0 && age >= c.ttl, Age: age}, true
+}
+
+// revalidateLocked kicks one background rebuild for a stale key, if none is
+// in flight and the breaker permits. Nobody waits on it; the stale entry
+// keeps serving until the rebuild lands (or hard expiry wins).
+func (c *Cache) revalidateLocked(ctx context.Context, key Key, now time.Time) {
+	if _, busy := c.inflight[key]; busy {
+		return
+	}
+	if allow, _ := c.allowBuildLocked(now); !allow {
+		return
+	}
+	c.startBuildLocked(ctx, key)
+}
+
+// allowBuildLocked asks the breaker whether a build may start now. When it
+// may not, the returned duration is the caller-facing Retry-After hint.
+func (c *Cache) allowBuildLocked(now time.Time) (bool, time.Duration) {
+	if c.brThreshold <= 0 || !c.brOpen {
+		return true, 0
+	}
+	if c.brProbe {
+		// A probe is already in flight; its outcome decides the breaker.
+		return false, c.brCooldown
+	}
+	if elapsed := now.Sub(c.openedAt); elapsed >= c.brCooldown {
+		c.brProbe = true // this build is the half-open probe
+		return true, 0
+	} else {
+		return false, c.brCooldown - elapsed
+	}
+}
+
+// recordBuildLocked feeds one build outcome into the breaker.
+func (c *Cache) recordBuildLocked(err error) {
+	if err == nil {
+		c.streak = 0
+		c.brOpen, c.brProbe = false, false
+		return
+	}
+	c.streak++
+	if c.brProbe {
+		// The probe failed: stay open, restart the cooldown.
+		c.brProbe = false
+		c.openedAt = c.now()
+		return
+	}
+	if c.brThreshold > 0 && c.streak >= int64(c.brThreshold) && !c.brOpen {
+		c.brOpen = true
+		c.openedAt = c.now()
+		c.breakerOpens.Add(1)
+	}
+}
+
+// startBuildLocked registers and launches one detached singleflight build.
+func (c *Cache) startBuildLocked(ctx context.Context, key Key) *call {
+	cl := &call{done: make(chan struct{}), gen: c.gen}
+	c.inflight[key] = cl
 	// Build detached from the leader's cancellation: followers with live
 	// contexts — and the next request for this key — still want the result.
+	go c.runBuild(context.WithoutCancel(ctx), key, cl)
+	return cl
+}
+
+type buildResult struct {
+	n   *graph.Network
+	err error
+}
+
+// runBuild executes one build under the hook, panic recovery and the
+// timeout budget, then publishes the outcome.
+func (c *Cache) runBuild(ctx context.Context, key Key, cl *call) {
+	c.builds.Add(1)
+	bctx, cancel := ctx, context.CancelFunc(func() {})
+	if c.buildTimeout > 0 {
+		bctx, cancel = context.WithTimeout(ctx, c.buildTimeout)
+	}
+	resc := make(chan buildResult, 1)
 	go func() {
 		defer func() {
 			// A panicking build must not strand waiters on a never-closed
 			// channel; surface it as an error to every waiter instead.
 			if r := recover(); r != nil {
-				cl.err = fmt.Errorf("snapcache: build %s panicked: %v", key, r)
-				c.finish(key, cl)
+				resc <- buildResult{err: fmt.Errorf("snapcache: build %s panicked: %v", key, r)}
 			}
 		}()
-		c.builds.Add(1)
-		cl.n, cl.err = c.build(context.WithoutCancel(ctx), key)
-		c.finish(key, cl)
+		if c.hook != nil {
+			if err := c.hook(key); err != nil {
+				resc <- buildResult{err: err}
+				return
+			}
+		}
+		n, err := c.build(bctx, key)
+		resc <- buildResult{n: n, err: err}
 	}()
-
-	defer sp.EndAs(telemetry.StageCacheMiss)
 	select {
-	case <-cl.done:
-		return cl.n, cl.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case r := <-resc:
+		cancel()
+		cl.n, cl.err = r.n, r.err
+	case <-bctx.Done():
+		// Timed out: fail the waiters now, but adopt the result if the
+		// build eventually succeeds anyway — the work is already paid for.
+		c.timeouts.Add(1)
+		cl.err = fmt.Errorf("snapcache: build %s: %w", key, bctx.Err())
+		gen := cl.gen
+		go func() {
+			defer cancel()
+			if r := <-resc; r.err == nil && r.n != nil {
+				c.adoptLate(key, r.n, gen)
+			}
+		}()
 	}
+	c.finish(key, cl)
 }
 
 // finish publishes a completed build: on success the entry enters the LRU
-// (evicting the coldest if over capacity); errors are not cached, so the
-// next Get retries.
+// (replacing a stale predecessor, evicting the coldest if over capacity);
+// errors are not cached, so the next Get retries. Either way the outcome
+// feeds the breaker.
 func (c *Cache) finish(key Key, cl *call) {
 	c.mu.Lock()
 	delete(c.inflight, key)
+	c.recordBuildLocked(cl.err)
 	if cl.err != nil {
 		c.errors.Add(1)
-	} else if _, exists := c.entries[key]; !exists && cl.gen == c.gen {
-		for c.lru.Len() >= c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(Key))
-			c.evictions.Add(1)
-		}
-		c.entries[key] = &entry{n: cl.n, builtAt: c.now(), elem: c.lru.PushFront(key)}
+	} else if cl.gen == c.gen {
+		c.insertLocked(key, cl.n)
 	}
 	c.mu.Unlock()
 	close(cl.done)
 }
 
+// insertLocked puts a freshly built network into the LRU, refreshing an
+// existing (stale) entry in place rather than duplicating it.
+func (c *Cache) insertLocked(key Key, n *graph.Network) {
+	if e, ok := c.entries[key]; ok {
+		e.n = n
+		e.builtAt = c.now()
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(Key))
+		c.evictions.Add(1)
+	}
+	c.entries[key] = &entry{n: n, builtAt: c.now(), elem: c.lru.PushFront(key)}
+}
+
+// adoptLate inserts the success of a build whose waiters already saw a
+// timeout, unless a Purge invalidated its generation meanwhile. The late
+// success also counts as one for the breaker: the backend works, slowly.
+func (c *Cache) adoptLate(key Key, n *graph.Network, gen uint64) {
+	c.mu.Lock()
+	if gen == c.gen {
+		c.insertLocked(key, n)
+		c.lateBuilds.Add(1)
+		c.recordBuildLocked(nil)
+	}
+	c.mu.Unlock()
+}
+
 // Peek reports whether key is resident without touching LRU order or
-// counters (tests and metrics).
+// counters (tests and metrics). Stale-but-servable entries count.
 func (c *Cache) Peek(key Key) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	return ok && !(c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl)
+	return ok && !(c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl+c.staleFor)
 }
 
 // Len returns the number of resident entries.
@@ -253,14 +543,39 @@ func (c *Cache) Purge() {
 	c.mu.Unlock()
 }
 
+// Breaker snapshots the circuit breaker's state.
+func (c *Cache) Breaker() BreakerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := BreakerStatus{FailureStreak: c.streak}
+	switch {
+	case !c.brOpen:
+		st.State = BreakerClosed
+	case c.brProbe:
+		st.State = BreakerHalfOpen
+		st.RetryAfter = c.brCooldown
+	default:
+		st.State = BreakerOpen
+		if remaining := c.brCooldown - c.now().Sub(c.openedAt); remaining > 0 {
+			st.RetryAfter = remaining
+		}
+	}
+	return st
+}
+
 // Stats snapshots the cumulative counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Builds:      c.builds.Load(),
-		Evictions:   c.evictions.Load(),
-		Expirations: c.expirations.Load(),
-		Errors:      c.errors.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Builds:       c.builds.Load(),
+		Evictions:    c.evictions.Load(),
+		Expirations:  c.expirations.Load(),
+		Errors:       c.errors.Load(),
+		StaleServes:  c.staleServes.Load(),
+		Timeouts:     c.timeouts.Load(),
+		LateBuilds:   c.lateBuilds.Load(),
+		FastFails:    c.fastFails.Load(),
+		BreakerOpens: c.breakerOpens.Load(),
 	}
 }

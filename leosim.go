@@ -346,3 +346,19 @@ var (
 	// breakdown in the envelope ("stage_times").
 	WriteJSONStages = core.WriteJSONStages
 )
+
+// Journal is the crash-safe run journal: per-experiment, per-snapshot
+// completion records in a JSONL sidecar, written atomically.
+type Journal = core.Journal
+
+// Crash-safe resume entry points (internal/core).
+var (
+	// OpenJournal opens or creates the journal at a path, bound to one run
+	// configuration.
+	OpenJournal = core.OpenJournal
+	// WithJournal attaches a journal to a context; Run* sweeps under that
+	// context record per-snapshot progress and skip journaled work.
+	WithJournal = core.WithJournal
+	// JournalFrom extracts the context's journal (nil when unjournaled).
+	JournalFrom = core.JournalFrom
+)

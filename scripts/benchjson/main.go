@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+
+	"leosim/internal/atomicfile"
 )
 
 // Benchmark is one benchmark's metrics from a -benchmem run.
@@ -118,7 +120,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	// Atomic write: the trajectory file accumulates history across runs, so
+	// a crash mid-write must never clobber it with a half-written document.
+	if err := atomicfile.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
