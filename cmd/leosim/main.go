@@ -117,11 +117,13 @@ func run(ctx context.Context, args []string) error {
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
 	faultName := fs.String("fault", "sat", "resilience scenario: sat|plane|site|isl|gslcap")
+	churnStep := fs.Duration("churn-step", time.Second, "churn experiment: time between instants")
+	churnWindow := fs.Duration("churn-window", time.Minute, "churn experiment: total simulated span")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	resume := fs.String("resume", "", "journal experiment/snapshot completion to this file and resume from it after a crash or Ctrl-C")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn xchurn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -243,7 +245,8 @@ func run(ctx context.Context, args []string) error {
 	// the output so incompatible runs can never be spliced together.
 	var jour *leosim.Journal
 	if *resume != "" {
-		desc := fmt.Sprintf("%s cmd=%s json=%t cdf=%d fault=%s", sim, cmd, *jsonOut, *cdfPoints, *faultName)
+		desc := fmt.Sprintf("%s cmd=%s json=%t cdf=%d fault=%s churn=%v/%v",
+			sim, cmd, *jsonOut, *cdfPoints, *faultName, *churnStep, *churnWindow)
 		jour, err = leosim.OpenJournal(*resume, desc)
 		if err != nil {
 			return err
@@ -259,7 +262,7 @@ func run(ctx context.Context, args []string) error {
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	case "ext":
 		experiments = []string{"util", "pathchurn", "te", "modcod", "beams",
-			"gsoimpact", "resilience", "churn", "passes"}
+			"gsoimpact", "resilience", "churn", "xchurn", "passes"}
 	}
 	for _, e := range experiments {
 		if jour != nil {
@@ -289,7 +292,8 @@ func run(ctx context.Context, args []string) error {
 			w = buf
 			emitRec = nil
 		}
-		rerr := runExperiment(ectx, sim, e, *cdfPoints, *jsonOut, *faultName, emitRec, w)
+		churnOpt := leosim.ChurnOptions{Step: *churnStep, Window: *churnWindow}
+		rerr := runExperiment(ectx, sim, e, *cdfPoints, *jsonOut, *faultName, churnOpt, emitRec, w)
 		if buf != nil && buf.Len() > 0 {
 			// Flush even on error: a cancelled sweep still emits its
 			// partial-prefix envelope, exactly like an unjournaled run.
@@ -315,7 +319,7 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
-func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string, rec *leosim.TelemetryRecorder, w io.Writer) error {
+func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints int, jsonOut bool, faultName string, churnOpt leosim.ChurnOptions, rec *leosim.TelemetryRecorder, w io.Writer) error {
 	// partial is set by the experiments that can flush a completed prefix
 	// after cancellation (fig2a/fig2b, disconnected, resilience) before they
 	// call emit; the JSON envelope then carries "partial": true.
@@ -485,6 +489,14 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 			fmt.Fprintf(w, "passes mean simultaneously visible satellites: %.1f\n", st.MeanVisible)
 		})
 	case "churn":
+		// Seconds-scale link/route dynamics via the incremental advancer —
+		// resolution the 15-minute snapshot grid cannot see.
+		res, err := leosim.RunChurn(ctx, sim, churnOpt)
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteChurnReport(w, res) })
+	case "xchurn":
 		// §8: cross-shell ISL pairings are short-lived. Quantified against
 		// a polar shell added to this sim's constellation.
 		multi, err := constellation.New(
@@ -498,9 +510,9 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 			return err
 		}
 		return emit(st, func() {
-			fmt.Fprintf(w, "churn cross-shell pairing lifetime: %v\n", st.MeanLifetime.Round(time.Second))
-			fmt.Fprintf(w, "churn switches per satellite-hour: %.1f (intra-shell +Grid: 0)\n", st.SwitchesPerSatPerHour)
-			fmt.Fprintf(w, "churn mean nearest range: %.0f km\n", st.MeanRangeKm)
+			fmt.Fprintf(w, "xchurn cross-shell pairing lifetime: %v\n", st.MeanLifetime.Round(time.Second))
+			fmt.Fprintf(w, "xchurn switches per satellite-hour: %.1f (intra-shell +Grid: 0)\n", st.SwitchesPerSatPerHour)
+			fmt.Fprintf(w, "xchurn mean nearest range: %.0f km\n", st.MeanRangeKm)
 		})
 	case "modcod":
 		res, err := leosim.RunWeatherCapacity(ctx, sim)

@@ -28,13 +28,28 @@ func TestRunSingleExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI experiment dispatch in -short mode")
 	}
-	for _, cmd := range []string{"fig4", "disconnected", "fig9", "churn", "passes", "util", "resilience"} {
+	for _, cmd := range []string{"fig4", "disconnected", "fig9", "xchurn", "passes", "util", "resilience"} {
 		cmd := cmd
 		t.Run(cmd, func(t *testing.T) {
 			if err := run(context.Background(), []string{"-scale", "tiny", "-cdf-points", "0", cmd}); err != nil {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// The seconds-scale churn experiment honours its step/window flags (a short
+// window keeps the test fast) in both text and JSON form.
+func TestRunChurnFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn dispatch in -short mode")
+	}
+	args := []string{"-scale", "tiny", "-churn-step", "2s", "-churn-window", "10s"}
+	if err := run(context.Background(), append(args, "churn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-json", "churn")); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -51,7 +66,8 @@ func TestRunErrors(t *testing.T) {
 		{"-scale", "huge", "fig4"},              // unknown scale
 		{"-constellation", "teledesic", "fig4"}, // unknown constellation
 		{"-scale", "tiny", "figX"},              // unknown experiment
-		{"-scale", "tiny", "-fault", "meteor", "resilience"}, // unknown scenario
+		{"-scale", "tiny", "-fault", "meteor", "resilience"},              // unknown scenario
+		{"-scale", "tiny", "-churn-step", "1m", "-churn-window", "1s", "churn"}, // window < step
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args); err == nil {

@@ -43,7 +43,8 @@ func runServe(ctx context.Context, args []string) error {
 	constName := fs.String("constellation", "starlink", "constellation: starlink|kuiper")
 	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
-	cacheSize := fs.Int("cache-size", 0, "snapshot cache capacity in graphs (0 = snapshots+4)")
+	cacheSize := fs.Int("cache-size", 0, "snapshot cache capacity in graphs (0 = snapshots+4, or 2×snapshots+8 with -prime)")
+	prime := fs.Bool("prime", false, "prime the snapshot cache in the background at startup: walk the day incrementally and deposit every snapshot for both modes")
 	cacheTTL := fs.Duration("cache-ttl", 0, "snapshot cache entry TTL (0 = never expire)")
 	staleFor := fs.Duration("cache-stale-for", 0, "serve expired snapshots (marked stale) this long past TTL while rebuilding in the background")
 	buildTimeout := fs.Duration("build-timeout", 0, "per-snapshot build deadline (0 = unbounded)")
@@ -109,6 +110,7 @@ func runServe(ctx context.Context, args []string) error {
 		BuildTimeout:     *buildTimeout,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		PrimeSnapshots:   *prime,
 		Chaos:            chaos,
 		MaxInFlight:      *maxInFlight,
 		RequestTimeout:   *reqTimeout,

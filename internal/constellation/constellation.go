@@ -2,6 +2,8 @@ package constellation
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"leosim/internal/geo"
@@ -19,6 +21,10 @@ type Constellation struct {
 
 	// shellOffset[i] is the index in Sats of the first satellite of shell i.
 	shellOffset []int
+
+	// batch is the hoisted-constants fast path for all-Kepler fleets
+	// (bit-identical to per-satellite propagation); nil under SGP4.
+	batch *orbit.KeplerBatch
 }
 
 // Option configures constellation construction.
@@ -90,6 +96,11 @@ func New(shells []Shell, opts ...Option) (*Constellation, error) {
 	if cfg.isls {
 		c.ISLs = plusGrid(c, cfg.omitSeam)
 	}
+	props := make([]orbit.Propagator, len(c.Sats))
+	for i := range c.Sats {
+		props[i] = c.Sats[i].Prop
+	}
+	c.batch, _ = orbit.NewKeplerBatch(props)
 	return c, nil
 }
 
@@ -138,14 +149,62 @@ func (c *Constellation) ShellOf(i int) Shell {
 // PositionsECEF returns the ECEF position of every satellite at time t, in
 // satellite-index order. Computation is parallelized across cores.
 func (c *Constellation) PositionsECEF(t time.Time) []geo.Vec3 {
-	out := make([]geo.Vec3, len(c.Sats))
+	return c.PositionsECEFInto(t, nil)
+}
+
+// PositionsECEFInto is PositionsECEF writing into dst when its capacity
+// suffices, so per-step callers (the incremental snapshot advancer) reuse
+// one buffer instead of allocating a position slice every step. The filled
+// slice is returned; it aliases dst unless dst was too small.
+func (c *Constellation) PositionsECEFInto(t time.Time, dst []geo.Vec3) []geo.Vec3 {
+	if cap(dst) < len(c.Sats) {
+		dst = make([]geo.Vec3, len(c.Sats))
+	}
+	dst = dst[:len(c.Sats)]
+	if c.batch != nil {
+		// All-Kepler fleets take the batched propagator: per-plane rotation
+		// matrices and hoisted secular rates, same bits, ~half the work.
+		parallelRanges(len(c.Sats), func(lo, hi int) {
+			c.batch.PositionsECEFRange(t, lo, hi, dst)
+		})
+		return dst
+	}
 	// Rotate once: compute ECI in parallel, then apply the shared GMST
 	// rotation, rather than recomputing GMST per satellite.
 	theta := -geo.GMST(t)
 	parallelFor(len(c.Sats), func(i int) {
-		out[i] = geo.RotateZ(c.Sats[i].Prop.PositionECI(t), theta)
+		dst[i] = geo.RotateZ(c.Sats[i].Prop.PositionECI(t), theta)
 	})
-	return out
+	return dst
+}
+
+// parallelRanges splits [0,n) into GOMAXPROCS contiguous chunks run
+// concurrently, falling back to one inline call on single-core hosts (no
+// goroutine spawn on the per-step advance path).
+func parallelRanges(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Snapshot bundles satellite positions at one instant.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"leosim/internal/geo"
 	"leosim/internal/ground"
@@ -43,8 +44,23 @@ func TestScaleValidate(t *testing.T) {
 	}
 	bad = TinyScale()
 	bad.NumSnapshots = 0
-	if bad.Validate() == nil {
-		t.Errorf("0 snapshots must fail")
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "NumSnapshots") {
+		t.Errorf("0 snapshots: want a NumSnapshots error, got %v", err)
+	}
+	bad = TinyScale()
+	bad.SnapshotStep = 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "SnapshotStep") {
+		t.Errorf("zero step: want a SnapshotStep error, got %v", err)
+	}
+	bad = TinyScale()
+	bad.SnapshotStep = -time.Minute
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "SnapshotStep") {
+		t.Errorf("negative step: want a SnapshotStep error, got %v", err)
+	}
+	bad = TinyScale()
+	bad.SnapshotStep = 900 * time.Second * 1000 // a "seconds as Duration-units" slip
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "week") {
+		t.Errorf("week-long schedule: want a span error, got %v", err)
 	}
 }
 

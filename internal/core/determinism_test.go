@@ -103,6 +103,9 @@ func TestRunEntryPointsDeterministic(t *testing.T) {
 		{"pathchurn", nil, nil, func(ctx context.Context, s *Sim) (interface{}, error) {
 			return RunPathChurn(ctx, s)
 		}},
+		{"churn", nil, nil, func(ctx context.Context, s *Sim) (interface{}, error) {
+			return RunChurn(ctx, s, ChurnOptions{Step: 2 * time.Second, Window: 10 * time.Second})
+		}},
 		{"beams", nil, nil, func(ctx context.Context, s *Sim) (interface{}, error) {
 			return RunBeamSweep(ctx, s, []int{4, 0}, Epoch())
 		}},

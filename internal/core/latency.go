@@ -89,6 +89,11 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 			}
 		}
 	}
+	// Each mode's walker advances snapshot to snapshot incrementally instead
+	// of rebuilding (journal replay above needs no networks, so the walkers
+	// anchor at the first live snapshot). The walker's network is reused in
+	// place across steps; pairRTTs consumes it before the next At.
+	walk := map[Mode]*Walker{BP: s.NewWalker(BP), Hybrid: s.NewWalker(Hybrid)}
 	for _, t := range times[done:] {
 		if ctx.Err() != nil {
 			break
@@ -98,7 +103,7 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		// snapshot ahead of the other's.
 		snap := map[Mode][]float64{}
 		for _, m := range []Mode{BP, Hybrid} {
-			n := s.NetworkAtCtx(ctx, t, m)
+			n := walk[m].At(t)
 			rtts, rerr := s.pairRTTs(ctx, n, false)
 			if rerr != nil {
 				if ctx.Err() != nil && done > 0 {

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"leosim/internal/fault"
-	"leosim/internal/graph"
 	"leosim/internal/safe"
 	"leosim/internal/stats"
 	"leosim/internal/telemetry"
@@ -338,27 +337,30 @@ func retention(val, base float64) float64 {
 }
 
 // evalFaulted evaluates one mode under one outage set (nil = healthy): it
-// builds masked snapshots from the sim's base options, measures per-pair
-// best RTTs and reachability across the snapshots, and runs the §5
+// walks masked snapshots derived from the sim's base options, measures
+// per-pair best RTTs and reachability across the snapshots, and runs the §5
 // throughput model at the first one.
 func (s *Sim) evalFaulted(ctx context.Context, mode Mode, outages *fault.Outages, times []time.Time) (*modeEval, error) {
-	b, err := s.builderWith(mode, func(o *graph.BuildOptions) {
-		if outages != nil {
-			o.Mask = outages.Mask
-		}
-	})
+	w, err := s.NewFaultedWalker(mode, outages)
 	if err != nil {
 		return nil, err
 	}
 	best := fill(len(s.Pairs), math.Inf(1))
-	var first *graph.Network
-	for _, t := range times {
+	ev := &modeEval{}
+	for si, t := range times {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		n := b.At(t)
-		if first == nil {
-			first = n
+		n := w.At(t)
+		// The walker mutates its network in place on the next step, so the
+		// first snapshot's throughput model must run before advancing — it
+		// can no longer be deferred past the loop.
+		if si == 0 {
+			tp, err := throughputOn(ctx, s, n, resilienceK)
+			if err != nil {
+				return nil, err
+			}
+			ev.tput = tp.AggregateGbps
 		}
 		rtts, err := s.pairRTTs(ctx, n, false)
 		if err != nil {
@@ -370,7 +372,6 @@ func (s *Sim) evalFaulted(ctx context.Context, mode Mode, outages *fault.Outages
 			}
 		}
 	}
-	ev := &modeEval{}
 	var reachable []float64
 	for _, r := range best {
 		if math.IsInf(r, 1) {
@@ -385,11 +386,6 @@ func (s *Sim) evalFaulted(ctx context.Context, mode Mode, outages *fault.Outages
 	} else {
 		ev.median, ev.p99 = math.Inf(1), math.Inf(1)
 	}
-	tp, err := throughputOn(ctx, s, first, resilienceK)
-	if err != nil {
-		return nil, err
-	}
-	ev.tput = tp.AggregateGbps
 	return ev, nil
 }
 

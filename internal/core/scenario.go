@@ -30,6 +30,23 @@ func (m Mode) String() string {
 	return "hybrid"
 }
 
+// MarshalText renders the mode name so Mode-keyed maps serialize to JSON
+// as "bp"/"hybrid" rather than raw ints.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText accepts the names produced by MarshalText.
+func (m *Mode) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "bp":
+		*m = BP
+	case "hybrid":
+		*m = Hybrid
+	default:
+		return fmt.Errorf("core: unknown mode %q (want bp or hybrid)", b)
+	}
+	return nil
+}
+
 // Scale bundles the experiment sizing knobs so tests, benchmarks and the
 // full paper-scale CLI runs share every code path and differ only in size.
 type Scale struct {
@@ -130,8 +147,19 @@ func (s Scale) Validate() error {
 	if s.NumPairs < 1 {
 		return fmt.Errorf("core: need ≥ 1 pair, got %d", s.NumPairs)
 	}
-	if s.NumSnapshots < 1 || s.SnapshotStep <= 0 {
-		return fmt.Errorf("core: need positive snapshot schedule")
+	if s.SnapshotStep <= 0 {
+		return fmt.Errorf("core: SnapshotStep must be positive, got %v", s.SnapshotStep)
+	}
+	if s.NumSnapshots < 1 {
+		return fmt.Errorf("core: NumSnapshots must be ≥ 1, got %d", s.NumSnapshots)
+	}
+	// A schedule longer than a simulated week is almost certainly a unit
+	// mistake (e.g. seconds where a Duration was meant): the experiments
+	// model one day, and the constellation's ~95-minute orbits make longer
+	// sweeps pure repetition.
+	if span := time.Duration(s.NumSnapshots-1) * s.SnapshotStep; span > 7*24*time.Hour {
+		return fmt.Errorf("core: snapshot schedule spans %v (%d × %v) — more than a simulated week; check SnapshotStep units",
+			span, s.NumSnapshots, s.SnapshotStep)
 	}
 	if s.MinPairKm < 0 || s.AircraftDensity < 0 {
 		return fmt.Errorf("core: negative scale parameter")

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"leosim/internal/fault"
+	"leosim/internal/graph"
+)
+
+// Walker is a forward time cursor over one connectivity mode's network. The
+// first At anchors a graph.Advancer with a full build; every later At applies
+// an incremental per-step delta instead of rebuilding, which at seconds-scale
+// steps is an order of magnitude cheaper (see BENCH_snapshot.json). The
+// advanced network is byte-identical to a fresh build at the same instant, so
+// sweeps that switch from repeated BuildNetworkAt calls to a Walker produce
+// the same results.
+//
+// The *graph.Network returned by At is owned by the walker and mutated in
+// place by the next At call: callers that need a snapshot to outlive the next
+// step must Clone it. A Walker is not safe for concurrent use; create one per
+// goroutine.
+type Walker struct {
+	b    *graph.Builder
+	adv  *graph.Advancer
+	last *graph.Delta
+}
+
+// NewWalker returns a time cursor over mode's network using the sim's
+// current builder (capacity sweeps swap builders; a walker keeps the one it
+// started with for its whole sweep, which is what in-order experiments want).
+func (s *Sim) NewWalker(mode Mode) *Walker {
+	return &Walker{b: s.builderFor(mode)}
+}
+
+// NewFaultedWalker is NewWalker with an outage mask applied, built from the
+// sim's base options through the same path as BuildNetworkAt — the §5
+// resilience sweep's walker.
+func (s *Sim) NewFaultedWalker(mode Mode, outages *fault.Outages) (*Walker, error) {
+	b, err := s.builderWith(mode, func(o *graph.BuildOptions) {
+		if outages != nil {
+			o.Mask = outages.Mask
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Walker{b: b}, nil
+}
+
+// At positions the cursor at t and returns the network there. The first call
+// performs a full build; subsequent calls advance incrementally when t is
+// within graph.MaxAdvanceStep ahead of the cursor and fall back to a full
+// rebuild otherwise (recorded in the step's Delta).
+func (w *Walker) At(t time.Time) *graph.Network {
+	if w.adv == nil {
+		w.adv = w.b.NewAdvancer(t)
+		w.last = nil
+		return w.adv.Net()
+	}
+	w.last = w.adv.Advance(t)
+	return w.adv.Net()
+}
+
+// LastDelta returns the edge delta of the most recent At, or nil if the
+// cursor has taken no step yet (the anchoring build has no delta). The delta
+// is valid until the next At call.
+func (w *Walker) LastDelta() *graph.Delta { return w.last }
+
+// Stats returns the cursor's accumulated advance statistics.
+func (w *Walker) Stats() graph.AdvanceStats {
+	if w.adv == nil {
+		return graph.AdvanceStats{}
+	}
+	return w.adv.Stats()
+}
+
+// Walk sweeps mode's network over times in order, calling visit at each
+// instant. The network passed to visit is reused across steps (see Walker.At);
+// visit must not retain it. Walk stops at the first visit error or context
+// cancellation, returning that error.
+func (s *Sim) Walk(ctx context.Context, mode Mode, times []time.Time, visit func(t time.Time, n *graph.Network) error) error {
+	w := s.NewWalker(mode)
+	for _, t := range times {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := visit(t, w.At(t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

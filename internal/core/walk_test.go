@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"leosim/internal/fault"
+	"leosim/internal/geo"
+	"leosim/internal/graph"
+)
+
+// requireSameTopology asserts the walker's in-place network matches a fresh
+// build on the identity surface: nodes, positions, names and the full link
+// list (kind, endpoints, capacity, delay).
+func requireSameTopology(t *testing.T, label string, got, want *graph.Network) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("%s: node count %d, fresh build has %d", label, got.N(), want.N())
+	}
+	if !reflect.DeepEqual(got.Kind, want.Kind) || !reflect.DeepEqual(got.Name, want.Name) {
+		t.Fatalf("%s: node sets differ from fresh build", label)
+	}
+	if !reflect.DeepEqual(got.Pos, want.Pos) {
+		t.Fatalf("%s: node positions differ from fresh build", label)
+	}
+	if !reflect.DeepEqual(got.Links, want.Links) {
+		t.Fatalf("%s: links differ from fresh build (%d vs %d)",
+			label, len(got.Links), len(want.Links))
+	}
+}
+
+// TestWalkerMatchesFreshBuilds drives a walker at seconds-scale steps (far
+// below the scenario's snapshot step) and at snapshot-scale jumps, checking
+// every visited instant against an independent fresh build.
+func TestWalkerMatchesFreshBuilds(t *testing.T) {
+	s := getTinySim(t)
+	for _, mode := range []Mode{BP, Hybrid} {
+		w := s.NewWalker(mode)
+		fresh, err := s.builderWith(mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := []time.Time{
+			geo.Epoch,
+			geo.Epoch.Add(1 * time.Second),
+			geo.Epoch.Add(2 * time.Second),
+			geo.Epoch.Add(30 * time.Second),
+			geo.Epoch.Add(graph.MaxAdvanceStep + 31*time.Second), // falls back
+			geo.Epoch.Add(graph.MaxAdvanceStep + 32*time.Second),
+		}
+		for _, tm := range times {
+			requireSameTopology(t, mode.String()+"@"+tm.Format("15:04:05"),
+				w.At(tm), fresh.At(tm))
+		}
+		if d := w.LastDelta(); d == nil {
+			t.Fatal("no delta after the final step")
+		}
+		st := w.Stats()
+		if st.Steps != len(times)-1 {
+			t.Fatalf("stats: %d steps, want %d", st.Steps, len(times)-1)
+		}
+		// The jump past MaxAdvanceStep must have fallen back (the tiny
+		// scale's aircraft schedule may force additional rebuilds at other
+		// steps — that is the advancer's call, identity is what matters).
+		if st.FullRebuilds < 1 {
+			t.Fatal("stats: the large jump did not register a full rebuild")
+		}
+	}
+}
+
+// TestFaultedWalkerMatchesBuildNetworkAt checks the resilience sweep's
+// walker: a masked advance must equal a masked fresh build.
+func TestFaultedWalkerMatchesBuildNetworkAt(t *testing.T) {
+	s := getTinySim(t)
+	plan, err := fault.ForScenario(fault.SatOutage, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages, err := plan.Realize(s.Const, len(s.Seg.Terminals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewFaultedWalker(Hybrid, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tm := geo.Epoch.Add(time.Duration(i) * 10 * time.Second)
+		want, err := s.BuildNetworkAt(context.Background(), tm, Hybrid, outages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameTopology(t, "masked@"+tm.Format("15:04:05"), w.At(tm), want)
+	}
+}
+
+// TestWalkerLastDelta checks the delta surface experiments consume: nil
+// before any step, populated after incremental steps, flagged on fallbacks.
+func TestWalkerLastDelta(t *testing.T) {
+	s := getTinySim(t)
+	w := s.NewWalker(BP)
+	if w.LastDelta() != nil {
+		t.Fatal("LastDelta non-nil before the first At")
+	}
+	if st := w.Stats(); st != (graph.AdvanceStats{}) {
+		t.Fatalf("zero-value walker has stats %+v", st)
+	}
+	w.At(geo.Epoch)
+	if w.LastDelta() != nil {
+		t.Fatal("LastDelta non-nil after the anchoring build")
+	}
+	w.At(geo.Epoch.Add(time.Second))
+	d := w.LastDelta()
+	if d == nil || d.FullRebuild {
+		t.Fatalf("seconds-scale step: delta %+v, want incremental", d)
+	}
+	if d.From != geo.Epoch || d.To != geo.Epoch.Add(time.Second) {
+		t.Fatalf("delta bounds [%v, %v] don't match the step", d.From, d.To)
+	}
+	w.At(geo.Epoch) // backwards: must fall back, not corrupt
+	d = w.LastDelta()
+	if d == nil || !d.FullRebuild || d.Reason != "backwards-step" {
+		t.Fatalf("backwards step: delta %+v, want full rebuild", d)
+	}
+}
+
+// TestWalkVisitsInOrder checks Sim.Walk's contract: every instant visited in
+// order, cancellation honoured between steps, visit errors propagated.
+func TestWalkVisitsInOrder(t *testing.T) {
+	s := getTinySim(t)
+	times := s.SnapshotTimes()[:3]
+	var visited []time.Time
+	err := s.Walk(context.Background(), Hybrid, times, func(tm time.Time, n *graph.Network) error {
+		if n == nil || n.N() == 0 {
+			t.Fatalf("empty network at %v", tm)
+		}
+		visited = append(visited, tm)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(visited, times) {
+		t.Fatalf("visited %v, want %v", visited, times)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err = s.Walk(ctx, BP, times, func(time.Time, *graph.Network) error {
+		calls++
+		cancel()
+		return nil
+	})
+	if err != context.Canceled || calls != 1 {
+		t.Fatalf("cancelled walk: err=%v calls=%d, want context.Canceled after 1", err, calls)
+	}
+}

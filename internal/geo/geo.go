@@ -40,6 +40,15 @@ const (
 	// (~2/3 c), used for the terrestrial fiber augmentation of §8.
 	FiberSpeed = LightSpeed * 2.0 / 3.0
 
+	// MsPerKm is the one-way propagation delay in milliseconds per
+	// kilometre at c. Link construction multiplies by this instead of
+	// dividing by LightSpeed: the untyped constant 1000/c is rounded once
+	// at compile time, so every construction site — the full snapshot
+	// builder and the incremental advancer alike — produces bit-identical
+	// delays from the same distance, and the per-link float division
+	// disappears from both hot paths.
+	MsPerKm = 1000 / LightSpeed
+
 	// GSOAltitude is the altitude of the geostationary arc above the
 	// Equator, used for the GSO arc-avoidance constraint of §7.
 	GSOAltitude = 35786.0

@@ -95,6 +95,32 @@ func (b *Builder) gsoCheckers() []*ground.GSOChecker {
 	return b.gso
 }
 
+// satCellDeg is the spatial-bucketing cell size of the satellite index,
+// shared by At and the incremental advancer (whose candidate bookkeeping is
+// keyed by these cells).
+const satCellDeg = 4
+
+// visibility resolves the per-shell minimum elevation angles and the
+// conservative candidate-scan radius: the Earth-central angle of the widest
+// shell's coverage cone, in degrees, plus slack for terminal altitude
+// (aircraft). At and the incremental advancer share it verbatim so both
+// derive identical link sets.
+func (b *Builder) visibility() (minElev []float64, maxRadiusDeg float64) {
+	minElev = make([]float64, len(b.Const.Shells))
+	for i, sh := range b.Const.Shells {
+		e := sh.MinElevationDeg
+		if b.Opts.MinElevationOverrideDeg > 0 {
+			e = b.Opts.MinElevationOverrideDeg
+		}
+		minElev[i] = e
+		rd := geo.CoverageRadius(sh.AltitudeKm, e)/geo.EarthRadius*geo.Rad + 0.5
+		if rd > maxRadiusDeg {
+			maxRadiusDeg = rd
+		}
+	}
+	return minElev, maxRadiusDeg
+}
+
 // satIndex spatially buckets satellites by sub-satellite point for fast
 // visibility queries.
 type satIndex struct {
@@ -197,23 +223,9 @@ func (b *Builder) At(t time.Time) *Network {
 	}
 	n.NumAircraft = len(air)
 
-	// Visibility radius per shell: the Earth-central angle of the coverage
-	// cone, in degrees, plus slack for terminal altitude (aircraft).
-	maxRadiusDeg := 0.0
-	minElev := make([]float64, len(b.Const.Shells))
-	for i, sh := range b.Const.Shells {
-		e := sh.MinElevationDeg
-		if b.Opts.MinElevationOverrideDeg > 0 {
-			e = b.Opts.MinElevationOverrideDeg
-		}
-		minElev[i] = e
-		rd := geo.CoverageRadius(sh.AltitudeKm, e)/geo.EarthRadius*geo.Rad + 0.5
-		if rd > maxRadiusDeg {
-			maxRadiusDeg = rd
-		}
-	}
+	minElev, maxRadiusDeg := b.visibility()
 
-	idx := newSatIndex(satPos, 4)
+	idx := newSatIndex(satPos, satCellDeg)
 	gso := b.gsoCheckers()
 
 	// GSL edges for every terminal node (cities, relays, aircraft).
@@ -259,7 +271,20 @@ func (b *Builder) At(t time.Time) *Network {
 				}
 				mine = append(mine, linkPair{term: job.node, sat: si})
 			}
-			results[j] = mine
+			// Canonical per-terminal order: ascending satellite index, one
+			// link per pair (the near-polar full-ring scan can report a
+			// candidate twice). The incremental advancer materializes links
+			// in exactly this order, so advanced and rebuilt snapshots agree
+			// byte for byte — link indices included.
+			sort.Slice(mine, func(a, b int) bool { return mine[a].sat < mine[b].sat })
+			uniq := mine[:0]
+			for k, lp := range mine {
+				if k > 0 && lp.sat == mine[k-1].sat {
+					continue
+				}
+				uniq = append(uniq, lp)
+			}
+			results[j] = uniq
 		}
 	})
 	if lim := b.Opts.MaxGSLsPerSatellite; lim > 0 {

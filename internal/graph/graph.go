@@ -114,7 +114,21 @@ type Network struct {
 	adjEdges []EdgeRef
 	csrValid atomic.Bool
 	csrMu    sync.Mutex
+	// csrNext is the counting-sort cursor scratch reused across freezes, so
+	// the incremental advancer's periodic re-freezes stop allocating.
+	csrNext []int32
+
+	// epoch counts in-place mutations of this network by the incremental
+	// advancer. Results computed against an earlier epoch (paths, pooled
+	// search state reads) describe a topology that no longer exists.
+	epoch uint64
 }
+
+// Epoch returns the network's mutation epoch. A freshly built snapshot is at
+// epoch 0; every Advancer step that touches the network bumps it. Holders of
+// derived results (paths, distances) across an Advance can compare epochs to
+// detect staleness instead of trusting stale reads.
+func (n *Network) Epoch() uint64 { return n.epoch }
 
 // SatNode returns the node index of satellite i.
 func (n *Network) SatNode(i int) int32 { return int32(i) }
@@ -143,14 +157,13 @@ func (n *Network) AddNode(kind NodeKind, pos geo.Vec3, name string) int32 {
 // for fiber links). It returns the link index.
 func (n *Network) AddLink(a, b int32, kind LinkKind, capGbps float64) int32 {
 	dist := n.Pos[a].Distance(n.Pos[b])
-	speed := geo.LightSpeed
+	ms := dist * geo.MsPerKm
 	if kind == LinkFiber {
-		speed = geo.FiberSpeed
 		// Fiber follows terrestrial rights-of-way; apply the customary
 		// ×1.5 path-stretch over the geodesic.
-		dist *= 1.5
+		ms = dist * 1.5 / geo.FiberSpeed * 1000
 	}
-	l := Link{A: a, B: b, Kind: kind, CapGbps: capGbps, OneWayMs: dist / speed * 1000}
+	l := Link{A: a, B: b, Kind: kind, CapGbps: capGbps, OneWayMs: ms}
 	idx := int32(len(n.Links))
 	n.Links = append(n.Links, l)
 	n.csrValid.Store(false)
@@ -162,8 +175,11 @@ func (n *Network) AddLink(a, b int32, kind LinkKind, capGbps float64) int32 {
 // from the adjacency structure; kept links are re-indexed densely. This is
 // the mutation primitive fault injection uses to knock out a node's links
 // or degrade link capacities on a freshly built snapshot.
+// The rewrite filters in place — the kept prefix reuses Links' backing
+// array — so per-step re-masking on the incremental advance path does not
+// allocate a link slice every step.
 func (n *Network) RewriteLinks(fn func(Link) (Link, bool)) {
-	kept := make([]Link, 0, len(n.Links))
+	kept := n.Links[:0]
 	for _, l := range n.Links {
 		if nl, keep := fn(l); keep {
 			kept = append(kept, nl)
@@ -191,17 +207,51 @@ func (n *Network) ensureCSR() {
 	// once per network — are measured.
 	sp := telemetry.StartStageSpan(telemetry.StageCSRFreeze)
 	defer sp.End()
+	// Buffers are reused across freezes when capacities allow: a network
+	// that the incremental advancer re-freezes every few steps settles into
+	// steady-state arrays instead of re-allocating the CSR each time.
 	nn := len(n.Kind)
-	start := make([]int32, nn+1)
+	start := n.csrStart(nn)
+	for i := range start {
+		start[i] = 0
+	}
 	for _, l := range n.Links {
 		start[l.A+1]++
 		start[l.B+1]++
 	}
+	n.freezeCSRLocked(start)
+}
+
+// csrStart returns the adjStart buffer resized (not zeroed) to nn+1.
+func (n *Network) csrStart(nn int) []int32 {
+	start := n.adjStart
+	if cap(start) < nn+1 {
+		start = make([]int32, nn+1)
+	}
+	return start[:nn+1]
+}
+
+// freezeCSRLocked finishes a CSR freeze from start, whose slot i+1 holds node
+// i's degree: prefix-sums it, fills the edge array in link-index order, and
+// publishes the result. Callers hold csrMu.
+func (n *Network) freezeCSRLocked(start []int32) {
+	nn := len(n.Kind)
 	for i := 0; i < nn; i++ {
 		start[i+1] += start[i]
 	}
-	edges := make([]EdgeRef, 2*len(n.Links))
-	next := make([]int32, nn)
+	edges := n.adjEdges
+	if cap(edges) < 2*len(n.Links) {
+		edges = make([]EdgeRef, 2*len(n.Links))
+	} else {
+		edges = edges[:2*len(n.Links)]
+	}
+	next := n.csrNext
+	if cap(next) < nn {
+		next = make([]int32, nn)
+		n.csrNext = next
+	} else {
+		next = next[:nn]
+	}
 	copy(next, start[:nn])
 	// Iterating Links in index order reproduces the append order the old
 	// per-node slices had, so relaxation order — and with it every
@@ -214,6 +264,30 @@ func (n *Network) ensureCSR() {
 	}
 	n.adjStart, n.adjEdges = start, edges
 	n.csrValid.Store(true)
+}
+
+// Clone returns an independent deep copy of the network with its CSR frozen.
+// The incremental advancer mutates its network in place; handing a snapshot
+// to anything that outlives the current step — the snapshot cache, a
+// concurrent consumer — goes through Clone so later Advance calls can never
+// rewrite topology under a reader.
+func (n *Network) Clone() *Network {
+	n.ensureCSR()
+	c := &Network{
+		Kind:        append([]NodeKind(nil), n.Kind...),
+		Pos:         append([]geo.Vec3(nil), n.Pos...),
+		Name:        append([]string(nil), n.Name...),
+		Links:       append([]Link(nil), n.Links...),
+		NumSat:      n.NumSat,
+		NumCity:     n.NumCity,
+		NumRelay:    n.NumRelay,
+		NumAircraft: n.NumAircraft,
+		adjStart:    append([]int32(nil), n.adjStart...),
+		adjEdges:    append([]EdgeRef(nil), n.adjEdges...),
+		epoch:       n.epoch,
+	}
+	c.csrValid.Store(true)
+	return c
 }
 
 // Degree returns the number of links at node v.

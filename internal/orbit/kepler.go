@@ -43,6 +43,19 @@ func TrueAnomaly(eccAnom, ecc float64) float64 {
 	return math.Atan2(s, c)
 }
 
+// circAnomalySinCos returns sin and cos of m0+theta through the angle-sum
+// identity. For circular orbits the true anomaly IS the mean anomaly, so this
+// replaces the SolveKepler→TrueAnomaly→Sincos chain; the identity's ~1-ulp
+// rounding (≈1 µm of position) is the cost of an expression tree whose two
+// Sincos factors are cacheable — per satellite (m0) and per orbital plane
+// (theta) — which the batched propagator exploits. Scalar and batched paths
+// both evaluate exactly this tree, keeping them bit-identical.
+func circAnomalySinCos(m0, theta float64) (sinM, cosM float64) {
+	sM0, cM0 := math.Sincos(m0)
+	sT, cT := math.Sincos(theta)
+	return sM0*cT + cM0*sT, cM0*cT - sM0*sT
+}
+
 // Propagator yields satellite positions over time.
 type Propagator interface {
 	// PositionECI returns the ECI position in km at time t.
@@ -86,6 +99,7 @@ func (k *KeplerPropagator) PosVelECI(t time.Time) (geo.Vec3, geo.Vec3) {
 	raan := el.RAANRad
 	argp := el.ArgPerigeeRad
 	m := el.MeanAnomalyRad + n*dt
+	theta := n * dt
 	if k.J2Secular {
 		raan += el.NodePrecessionRate() * dt
 		argp += el.ArgPerigeePrecessionRate() * dt
@@ -94,16 +108,28 @@ func (k *KeplerPropagator) PosVelECI(t time.Time) (geo.Vec3, geo.Vec3) {
 		p := el.SemiMajorKm * (1 - el.Eccentricity*el.Eccentricity)
 		ratio := geo.EarthEquatorialRadius / p
 		ci := math.Cos(el.InclinationRad)
-		m += 0.75 * J2 * ratio * ratio * n *
-			math.Sqrt(1-el.Eccentricity*el.Eccentricity) * (3*ci*ci - 1) * dt
+		drift := 0.75 * J2 * ratio * ratio * n *
+			math.Sqrt(1-el.Eccentricity*el.Eccentricity) * (3*ci*ci - 1)
+		m += drift * dt
+		theta += drift * dt
 	}
 
-	ea := SolveKepler(m, el.Eccentricity)
-	nu := TrueAnomaly(ea, el.Eccentricity)
-	r := el.SemiMajorKm * (1 - el.Eccentricity*math.Cos(ea))
-
-	// Perifocal coordinates.
-	sinNu, cosNu := math.Sincos(nu)
+	var sinNu, cosNu, r float64
+	if el.Eccentricity == 0 {
+		// Circular orbits (every Walker-shell satellite): ν ≡ M = M0 + θ
+		// exactly, evaluated through the angle-sum identity. This is the
+		// bit-contract the batched fleet propagator shares — it caches
+		// Sincos(M0) per satellite and Sincos(θ) per orbital plane, so the
+		// identical expression tree here keeps scalar and batch outputs
+		// bit-for-bit equal.
+		sinNu, cosNu = circAnomalySinCos(el.MeanAnomalyRad, theta)
+		r = el.SemiMajorKm
+	} else {
+		ea := SolveKepler(m, el.Eccentricity)
+		nu := TrueAnomaly(ea, el.Eccentricity)
+		r = el.SemiMajorKm * (1 - el.Eccentricity*math.Cos(ea))
+		sinNu, cosNu = math.Sincos(nu)
+	}
 	pf := geo.Vec3{X: r * cosNu, Y: r * sinNu}
 	pSLR := el.SemiMajorKm * (1 - el.Eccentricity*el.Eccentricity)
 	vFac := math.Sqrt(geo.EarthMu / pSLR)

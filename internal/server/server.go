@@ -37,6 +37,7 @@ import (
 
 	"leosim/internal/core"
 	"leosim/internal/fault"
+	"leosim/internal/safe"
 	"leosim/internal/snapcache"
 	"leosim/internal/telemetry"
 )
@@ -68,6 +69,13 @@ type Config struct {
 	// BreakerCooldown is how long the open breaker waits before one probe
 	// build (default: snapcache's own 5s).
 	BreakerCooldown time.Duration
+	// PrimeSnapshots, when set, walks the whole snapshot schedule for both
+	// modes in the background once Serve starts, advancing incrementally
+	// (graph.Advancer) and depositing snapshot clones into the cache — so
+	// the first client to ask for any snapshot of the day hits a warm entry
+	// instead of paying a cold build. With priming on, the default cache is
+	// sized to hold both modes' full day.
+	PrimeSnapshots bool
 	// Chaos, when non-nil, injects seeded faults (errors, delays, panics)
 	// into every snapshot build — the chaos-testing hook. Nil in production.
 	Chaos *fault.Chaos
@@ -93,6 +101,11 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = c.Sim.Scale.NumSnapshots + 4
+		if c.PrimeSnapshots {
+			// Priming deposits both modes' whole day; an LRU sized for one
+			// mode would evict the first mode while priming the second.
+			c.CacheSize = 2*c.Sim.Scale.NumSnapshots + 8
+		}
 		if c.CacheSize < 16 {
 			c.CacheSize = 16
 		}
@@ -212,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 	// live breaker position (0 closed, 1 half-open, 2 open) with its
 	// consecutive-failure streak.
 	s.reg.RegisterGaugeFunc("cache_stale_serves", func() int64 { return s.cache.Stats().StaleServes })
+	s.reg.RegisterGaugeFunc("cache_primed", func() int64 { return s.cache.Stats().Primed })
 	s.reg.RegisterGaugeFunc("cache_build_timeouts", func() int64 { return s.cache.Stats().Timeouts })
 	s.reg.RegisterGaugeFunc("cache_late_builds", func() int64 { return s.cache.Stats().LateBuilds })
 	s.reg.RegisterGaugeFunc("cache_fast_fails", func() int64 { return s.cache.Stats().FastFails })
@@ -368,6 +382,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	if s.cfg.PrimeSnapshots {
+		go s.primeCache(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -380,4 +397,39 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	err := hs.Shutdown(dctx)
 	<-errc // always http.ErrServerClosed after Shutdown
 	return err
+}
+
+// primeCache walks the snapshot schedule for both modes with an incremental
+// time cursor, depositing a clone of each snapshot into the cache. One
+// Advance step costs a fraction of a full build, so the whole day warms in
+// roughly the time a handful of cold misses would; requests arriving
+// mid-prime simply build (or singleflight-share) as usual and the prime's
+// Put refreshes their entry. Runs until done or ctx is cancelled; a builder
+// panic aborts priming with a log line, never the serve process.
+func (s *Server) primeCache(ctx context.Context) {
+	start := time.Now()
+	primed, err := s.primeAll(ctx)
+	if err != nil && ctx.Err() == nil {
+		s.log.Warn("cache prime aborted", "primed", primed, "err", err)
+		return
+	}
+	s.log.Info("cache primed", "snapshots", primed,
+		"durMs", time.Since(start).Milliseconds())
+}
+
+func (s *Server) primeAll(ctx context.Context) (primed int, err error) {
+	defer safe.RecoverTo(&err)
+	for _, mode := range []core.Mode{core.BP, core.Hybrid} {
+		w := s.cfg.Sim.NewWalker(mode)
+		for _, t := range s.times {
+			if err := ctx.Err(); err != nil {
+				return primed, err
+			}
+			// The walker's network is mutated in place by the next step;
+			// the cache gets an immutable clone with its CSR pre-frozen.
+			s.cache.Put(s.cacheKey(t, mode, ""), w.At(t).Clone())
+			primed++
+		}
+	}
+	return primed, nil
 }

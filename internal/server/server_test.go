@@ -510,3 +510,78 @@ func TestRequestLogging(t *testing.T) {
 		t.Errorf("healthz logged at info level: %s", buf.String())
 	}
 }
+
+// TestPrimeCacheWarmsWholeDay checks the background primer: every snapshot of
+// both modes lands in the cache, byte-identical to a cold build, and
+// subsequent requests are pure cache hits.
+func TestPrimeCacheWarmsWholeDay(t *testing.T) {
+	s := newTestServer(t, Config{PrimeSnapshots: true})
+	primed, err := s.primeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(s.times); primed != want {
+		t.Fatalf("primed %d snapshots, want %d (both modes × schedule)", primed, want)
+	}
+	if got := s.CacheStats().Primed; got != int64(primed) {
+		t.Fatalf("Primed counter %d, want %d", got, primed)
+	}
+	for _, mode := range []core.Mode{core.BP, core.Hybrid} {
+		for _, ts := range s.times {
+			n, _, ok := s.cache.GetCached(s.cacheKey(ts, mode, ""))
+			if !ok {
+				t.Fatalf("%s@%v not resident after prime", mode, ts)
+			}
+			want, err := s.cfg.Sim.BuildNetworkAt(context.Background(), ts, mode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.Links) != len(want.Links) {
+				t.Fatalf("%s@%v: primed snapshot has %d links, cold build %d",
+					mode, ts, len(n.Links), len(want.Links))
+			}
+		}
+	}
+	// A served query now finds its snapshot warm: hits move, builds don't.
+	base := s.CacheStats()
+	rec := getJSON(t, s.Handler(), q("/v1/path", "src", s.cfg.Sim.CityName(0), "dst", s.cfg.Sim.CityName(1)), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("path after prime: %d\n%s", rec.Code, rec.Body.String())
+	}
+	st := s.CacheStats()
+	if st.Builds != base.Builds || st.Hits <= base.Hits {
+		t.Fatalf("query after prime built (%d→%d builds, %d→%d hits), want pure hit",
+			base.Builds, st.Builds, base.Hits, st.Hits)
+	}
+}
+
+// TestPrimeCancelled checks a cancelled prime stops early and reports how far
+// it got instead of hanging the serve goroutine.
+func TestPrimeCancelled(t *testing.T) {
+	s := newTestServer(t, Config{PrimeSnapshots: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	primed, err := s.primeAll(ctx)
+	if err != context.Canceled || primed != 0 {
+		t.Fatalf("cancelled prime: primed=%d err=%v", primed, err)
+	}
+}
+
+// TestPrimeDefaultCacheSizing checks the default cache grows to hold both
+// modes' full day when priming is enabled.
+func TestPrimeDefaultCacheSizing(t *testing.T) {
+	sim := serverSim(t)
+	plain, err := New(Config{Sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primedSrv, err := New(Config{Sim: sim, PrimeSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primedSrv.cfg.CacheSize < 2*sim.Scale.NumSnapshots ||
+		primedSrv.cfg.CacheSize < plain.cfg.CacheSize {
+		t.Fatalf("primed cache size %d vs plain %d for %d snapshots",
+			primedSrv.cfg.CacheSize, plain.cfg.CacheSize, sim.Scale.NumSnapshots)
+	}
+}

@@ -109,6 +109,9 @@ type Stats struct {
 	Hits, Misses, Builds, Evictions, Expirations, Errors int64
 	// StaleServes counts Gets answered with an expired-but-valid entry.
 	StaleServes int64
+	// Primed counts entries inserted ready-made via Put (cache priming)
+	// rather than built on demand.
+	Primed int64
 	// Timeouts counts builds that exceeded BuildTimeout.
 	Timeouts int64
 	// LateBuilds counts timed-out builds whose eventual success was
@@ -225,7 +228,7 @@ type Cache struct {
 	openedAt time.Time
 
 	hits, misses, builds, evictions, expirations, errors atomic.Int64
-	staleServes, timeouts, lateBuilds                    atomic.Int64
+	staleServes, timeouts, lateBuilds, primed            atomic.Int64
 	fastFails, breakerOpens                              atomic.Int64
 }
 
@@ -515,6 +518,23 @@ func (c *Cache) adoptLate(key Key, n *graph.Network, gen uint64) {
 	c.mu.Unlock()
 }
 
+// Put inserts a ready-made network for key without running a build — the
+// cache-priming path: a background walker advances the day incrementally and
+// deposits snapshot clones far cheaper than the cold builds on-demand misses
+// would pay. The entry enters the LRU exactly as a built one would
+// (refreshing an existing entry in place, evicting the coldest over
+// capacity). A singleflight build already in flight for key is untouched;
+// its own insert simply refreshes the entry when it lands.
+func (c *Cache) Put(key Key, n *graph.Network) {
+	if n == nil {
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(key, n)
+	c.mu.Unlock()
+	c.primed.Add(1)
+}
+
 // Peek reports whether key is resident without touching LRU order or
 // counters (tests and metrics). Stale-but-servable entries count.
 func (c *Cache) Peek(key Key) bool {
@@ -573,6 +593,7 @@ func (c *Cache) Stats() Stats {
 		Expirations:  c.expirations.Load(),
 		Errors:       c.errors.Load(),
 		StaleServes:  c.staleServes.Load(),
+		Primed:       c.primed.Load(),
 		Timeouts:     c.timeouts.Load(),
 		LateBuilds:   c.lateBuilds.Load(),
 		FastFails:    c.fastFails.Load(),

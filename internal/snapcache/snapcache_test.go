@@ -336,3 +336,44 @@ func TestHitRate(t *testing.T) {
 		t.Errorf("HitRate = %v, want 0.75", got)
 	}
 }
+
+// TestPutPrimesWithoutBuilding checks the cache-priming path: Put deposits a
+// ready-made network that later Gets serve as plain hits (no build), the
+// Primed counter tracks deposits, and Put respects capacity and the
+// generation guard like any insert.
+func TestPutPrimesWithoutBuilding(t *testing.T) {
+	var builds atomic.Int64
+	c := New(func(ctx context.Context, k Key) (*graph.Network, error) {
+		builds.Add(1)
+		return tinyNet("built-" + k.Scenario), nil
+	}, Options{Capacity: 2})
+
+	primed := tinyNet("primed")
+	c.Put(keyAt("p", 1), primed)
+	if st := c.Stats(); st.Primed != 1 {
+		t.Fatalf("Primed = %d after one Put", st.Primed)
+	}
+	n, err := c.Get(context.Background(), keyAt("p", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != primed {
+		t.Fatal("Get returned a different network than the primed one")
+	}
+	if b := builds.Load(); b != 0 {
+		t.Fatalf("Get after Put ran %d builds, want 0", b)
+	}
+
+	// nil networks are ignored, not cached as poison.
+	c.Put(keyAt("p", 2), nil)
+	if _, _, ok := c.GetCached(keyAt("p", 2)); ok {
+		t.Fatal("nil Put created an entry")
+	}
+
+	// Put participates in the LRU: two more deposits evict the oldest.
+	c.Put(keyAt("p", 3), tinyNet("x"))
+	c.Put(keyAt("p", 4), tinyNet("y"))
+	if _, _, ok := c.GetCached(keyAt("p", 1)); ok {
+		t.Fatal("capacity-2 cache still holds the first primed entry after two more Puts")
+	}
+}

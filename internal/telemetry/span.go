@@ -37,6 +37,9 @@ const (
 	// StageCacheWait is a snapshot-cache lookup that waited on another
 	// caller's in-flight build (singleflight share).
 	StageCacheWait
+	// StageAdvance is one incremental snapshot advance (Advancer.Advance),
+	// the per-step delta alternative to a full StageGraphBuild.
+	StageAdvance
 	// NumStages bounds the Stage enum; not a stage itself.
 	NumStages
 )
@@ -44,7 +47,7 @@ const (
 var stageNames = [NumStages]string{
 	"graph_build", "csr_freeze", "search", "kdisjoint", "yen",
 	"maxmin_alloc", "weather", "fault_realize",
-	"cache_hit", "cache_miss", "cache_wait",
+	"cache_hit", "cache_miss", "cache_wait", "advance",
 }
 
 // String returns the stable snake_case stage name used in /metrics keys,

@@ -114,6 +114,15 @@ type (
 	UtilizationResult = core.UtilizationResult
 	// PathChurnResult is the path-stability comparison.
 	PathChurnResult = core.PathChurnResult
+	// Walker is an incremental time cursor over one mode's network:
+	// seconds-scale steps cost a per-step delta instead of a full rebuild.
+	Walker = core.Walker
+	// ChurnOptions configures the seconds-scale churn experiment.
+	ChurnOptions = core.ChurnOptions
+	// ChurnResult is the seconds-scale link/route churn report.
+	ChurnResult = core.ChurnResult
+	// ChurnModeStats is one mode's route-stability rates within it.
+	ChurnModeStats = core.ChurnModeStats
 	// HeatmapResult is the Fig 7 regional attenuation map.
 	HeatmapResult = core.HeatmapResult
 	// BeamPoint is one cell of the beam-limit sweep.
@@ -227,6 +236,9 @@ var (
 	RunUtilization = core.RunUtilization
 	// RunPathChurn measures how often each pair's path changes (§4).
 	RunPathChurn = core.RunPathChurn
+	// RunChurn measures GSL and route churn at seconds-scale resolution
+	// via the incremental advancer (the regime snapshot grids cannot see).
+	RunChurn = core.RunChurn
 	// RunHeatmap computes the Fig 7 regional attenuation map with the
 	// BP/ISL path overlays.
 	RunHeatmap = core.RunHeatmap
@@ -272,6 +284,7 @@ var (
 	WriteRelayReport       = core.WriteRelayReport
 	WriteGSOImpactReport   = core.WriteGSOImpactReport
 	WritePathChurnReport   = core.WritePathChurnReport
+	WriteChurnReport       = core.WriteChurnReport
 	WriteResilienceReport  = core.WriteResilienceReport
 	// WriteJSON emits any experiment result as a JSON envelope.
 	WriteJSON = core.WriteJSON

@@ -1,19 +1,58 @@
 #!/bin/sh
-# Run the routing-kernel benchmarks and record them in BENCH_routing.json.
+# Run a benchmark suite and record it in its trajectory JSON file.
 #
-# usage: scripts/bench.sh [label]
+# usage: scripts/bench.sh [routing|snapshot|all] [label]
+#
+# Targets:
+#   routing   — the routing hot path (Dijkstra, ShortestPath, KDisjointPaths,
+#               Yen, MinMaxUtilization, the Fig 2a sweep) → BENCH_routing.json
+#   snapshot  — the snapshot engine at paper scale: one full At() rebuild vs
+#               one incremental Advance() step at 1-second resolution
+#               → BENCH_snapshot.json
+#   all       — both (default)
 #
 # The label names the run inside the trajectory file (default "current");
-# rerunning with the same label replaces that run in place, so the file keeps
-# one entry per milestone. The recorded set covers the routing hot path:
-# Dijkstra, ShortestPath, KDisjointPaths, Yen, MinMaxUtilization, and the
-# end-to-end Fig 2a sweep that exercises it all.
+# rerunning with the same label replaces that run in place, so each file keeps
+# one entry per milestone. Snapshot benchmarks run with -count 3; benchjson
+# keeps the fastest sample per benchmark, so a noisy neighbour can only be
+# filtered out, never flatter the result.
 set -eu
 cd "$(dirname "$0")/.."
 
-LABEL="${1:-current}"
-PATTERN='^(BenchmarkDijkstra|BenchmarkShortestPath|BenchmarkKDisjoint|BenchmarkYen|BenchmarkMinMaxUtilization|BenchmarkFig2aMinRTT)$'
+TARGET="${1:-all}"
+LABEL="${2:-current}"
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
-	. ./internal/graph ./internal/routing |
-	go run ./scripts/benchjson -label "$LABEL" -out BENCH_routing.json
+run_routing() {
+	PATTERN='^(BenchmarkDijkstra|BenchmarkShortestPath|BenchmarkKDisjoint|BenchmarkYen|BenchmarkMinMaxUtilization|BenchmarkFig2aMinRTT)$'
+	go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
+		. ./internal/graph ./internal/routing |
+		go run ./scripts/benchjson -label "$LABEL" -out BENCH_routing.json
+}
+
+run_snapshot() {
+	# Three interleaved rounds rather than -count 3: with -count, all
+	# BuildAt samples land minutes before all Advance samples, and on a
+	# shared machine the noise phase can shift in between, skewing the
+	# rebuild/advance ratio either way. Alternating rounds keep each
+	# pair's measurement windows seconds apart; benchjson's min-aggregation
+	# then picks each side's cleanest round.
+	PATTERN='^(BenchmarkBuildAt|BenchmarkAdvance)$'
+	for round in 1 2 3; do
+		go test -run '^$' -bench "$PATTERN" -benchmem -benchtime 2s \
+			./internal/graph
+	done |
+		go run ./scripts/benchjson -label "$LABEL" -out BENCH_snapshot.json
+}
+
+case "$TARGET" in
+routing) run_routing ;;
+snapshot) run_snapshot ;;
+all)
+	run_routing
+	run_snapshot
+	;;
+*)
+	echo "usage: scripts/bench.sh [routing|snapshot|all] [label]" >&2
+	exit 2
+	;;
+esac
