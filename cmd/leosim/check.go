@@ -29,6 +29,7 @@ func runCheck(ctx context.Context, args []string) error {
 	pairs := fs.Int("pairs", 0, "per-snapshot pair sample for symmetry/dominance checks (0 = default)")
 	optPairs := fs.Int("opt-pairs", 0, "per-snapshot pair sample for the naive-Dijkstra optimality check (0 = default)")
 	sgp4 := fs.Bool("sgp4", false, "propagate with SGP4 instead of the analytic J2 model")
+	motifName := fs.String("motif", "", "validate under an ISL topology motif: plus-grid|diag-grid|ladder|nearest|demand (default +Grid)")
 	verbose := fs.Bool("v", false, "also list violation samples on stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: leosim check [flags]\n\nRuns physics/graph/routing/flow invariant checks over snapshot graphs and\nprints a JSON report; exits 1 if any invariant is violated.\n\nflags:\n")
@@ -53,6 +54,13 @@ func runCheck(ctx context.Context, args []string) error {
 	var opts []leosim.SimOption
 	if *sgp4 {
 		opts = append(opts, leosim.WithSGP4Propagation())
+	}
+	if *motifName != "" {
+		id, err := leosim.ParseMotif(*motifName)
+		if err != nil {
+			return fmt.Errorf("bad -motif: %w", err)
+		}
+		opts = append(opts, leosim.WithMotifID(id))
 	}
 
 	start := time.Now()

@@ -12,6 +12,7 @@
 //	leosim fig10            cross-shell BP augmentation (§8)
 //	leosim fig11            Paris fiber augmentation (§8)
 //	leosim resilience       fault-injection degradation sweep (-fault scenario)
+//	leosim topo             ISL topology-lab sweep: motifs × modes (-motif picks one for other runs)
 //	leosim all              everything above
 //	leosim serve            HTTP query service over one sim (see -h for flags)
 //	leosim check            invariant-validation sweep, JSON report, exit 1 on violations
@@ -117,13 +118,14 @@ func run(ctx context.Context, args []string) error {
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	snapshots := fs.Int("snapshots", 0, "override the snapshot count (0 = scale default)")
 	faultName := fs.String("fault", "sat", "resilience scenario: sat|plane|site|isl|gslcap")
+	motifName := fs.String("motif", "", "ISL topology motif: plus-grid|diag-grid|ladder|nearest|demand (default +Grid)")
 	churnStep := fs.Duration("churn-step", time.Second, "churn experiment: time between instants")
 	churnWindow := fs.Duration("churn-window", time.Minute, "churn experiment: total simulated span")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile for the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	resume := fs.String("resume", "", "journal experiment/snapshot completion to this file and resume from it after a crash or Ctrl-C")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn xchurn passes util pathchurn beams relays gsoimpact resilience geojson disconnected info all ext\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim [flags] <experiment>\n       leosim serve [flags]\n       leosim check [flags]\n\nexperiments: fig2a fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 te modcod churn xchurn passes util pathchurn beams relays gsoimpact resilience topo geojson disconnected info all ext\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -232,7 +234,15 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	start := time.Now()
-	sim, err := leosim.NewSim(choice, scale)
+	var simOpts []leosim.SimOption
+	if *motifName != "" {
+		id, err := leosim.ParseMotif(*motifName)
+		if err != nil {
+			return err
+		}
+		simOpts = append(simOpts, leosim.WithMotifID(id))
+	}
+	sim, err := leosim.NewSim(choice, scale, simOpts...)
 	if err != nil {
 		return err
 	}
@@ -262,7 +272,7 @@ func run(ctx context.Context, args []string) error {
 			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	case "ext":
 		experiments = []string{"util", "pathchurn", "te", "modcod", "beams",
-			"gsoimpact", "resilience", "churn", "xchurn", "passes"}
+			"gsoimpact", "resilience", "topo", "churn", "xchurn", "passes"}
 	}
 	for _, e := range experiments {
 		if jour != nil {
@@ -392,6 +402,18 @@ func runExperiment(ctx context.Context, sim *leosim.Sim, cmd string, cdfPoints i
 			return err
 		}
 		return rerr
+	case "topo":
+		// Topology lab: every ISL motif × {BP, Hybrid} compared on latency,
+		// throughput, fault resilience and route churn (§ topology design).
+		res, err := leosim.RunTopo(ctx, sim, leosim.TopoOptions{
+			FaultScenario: leosim.FaultScenario(faultName),
+			ChurnStep:     churnOpt.Step,
+			ChurnWindow:   churnOpt.Window,
+		})
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { leosim.WriteTopoReport(w, res) })
 	case "resilience":
 		sc := leosim.FaultScenario(faultName)
 		res, rerr := leosim.RunResilience(ctx, sim, sc, nil)

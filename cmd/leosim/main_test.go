@@ -66,7 +66,7 @@ func TestRunErrors(t *testing.T) {
 		{"-scale", "huge", "fig4"},              // unknown scale
 		{"-constellation", "teledesic", "fig4"}, // unknown constellation
 		{"-scale", "tiny", "figX"},              // unknown experiment
-		{"-scale", "tiny", "-fault", "meteor", "resilience"},              // unknown scenario
+		{"-scale", "tiny", "-fault", "meteor", "resilience"},                    // unknown scenario
 		{"-scale", "tiny", "-churn-step", "1m", "-churn-window", "1s", "churn"}, // window < step
 	}
 	for _, args := range cases {

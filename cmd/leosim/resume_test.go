@@ -95,7 +95,7 @@ func TestResumeEndToEnd(t *testing.T) {
 		close(stopWatch)
 
 		done := countDone(journal)
-		if done < 2 || done >= 10 {
+		if done < 2 || done >= 11 {
 			t.Fatalf("killed run journaled %d done experiments, want a strict mid-sweep prefix", done)
 		}
 		got, err := captureRun(context.Background(), extArgs(journal))
@@ -105,8 +105,8 @@ func TestResumeEndToEnd(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Errorf("resumed output differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
 		}
-		if countDone(journal) != 10 {
-			t.Errorf("resumed journal holds %d done experiments, want all 10", countDone(journal))
+		if countDone(journal) != 11 {
+			t.Errorf("resumed journal holds %d done experiments, want all 11", countDone(journal))
 		}
 	})
 

@@ -2,8 +2,9 @@
 // independent oracles that verify physical and algorithmic invariants of
 // snapshot graphs, routed paths, and flow allocations. None of the checks
 // re-run the code under test — they hold its outputs against closed-form
-// geometry (slant-range and elevation bounds, analytic +Grid ISL length
-// bounds, the free-space propagation lower bound), against naive reference
+// geometry (slant-range and elevation bounds, analytic ISL length bounds
+// valid for any intra-shell motif, the free-space propagation lower bound),
+// against naive reference
 // algorithms (linear-scan Dijkstra), and against defining mathematical
 // properties (max-min bottleneck conditions), so a bug in an optimized fast
 // path cannot hide behind the same bug in its checker.
@@ -39,9 +40,11 @@ const (
 	// ClassGSLRange flags ground-satellite links longer than the maximum
 	// slant range the elevation mask admits.
 	ClassGSLRange Class = "gsl-range"
-	// ClassISLGeometry flags +Grid ISLs whose length falls outside the
-	// closed-form bounds for their (ΔΩ, Δu) plane/slot relation, or that dip
-	// into the lower atmosphere.
+	// ClassISLGeometry flags ISLs whose length falls outside the closed-form
+	// bounds for their (ΔΩ, Δu) plane/slot relation, or that dip into the
+	// lower atmosphere. The bounds are per-relation, not per-motif: +Grid,
+	// diagonal offsets, ladder rings and matching-based motifs all validate
+	// against the same analytic envelope.
 	ClassISLGeometry Class = "isl-geometry"
 	// ClassLinkDelay flags links whose OneWayMs disagrees with the
 	// propagation delay recomputed from endpoint positions.

@@ -24,8 +24,8 @@ type Geometry struct {
 	// short-period oscillations of a few kilometers, so NewGeometry widens
 	// the tolerance when any satellite uses it.
 	RadiusTolKm float64
-	// ISLSlackKm widens the closed-form +Grid ISL length bounds, absorbing
-	// the same propagator deviation on both endpoints.
+	// ISLSlackKm widens the closed-form ISL length bounds, absorbing the
+	// same propagator deviation on both endpoints.
 	ISLSlackKm float64
 	// MinISLAltKm, when positive, requires every ISL to clear this altitude
 	// (the paper's ~80 km lower-atmosphere floor). Leave zero for sparse
@@ -33,7 +33,10 @@ type Geometry struct {
 	MinISLAltKm float64
 
 	// islBounds caches [min,max] chord length per (shell, Δplane, Δslot)
-	// relation — a handful of distinct relations covers every +Grid link.
+	// relation. +Grid uses a handful of distinct relations; motifs with
+	// freer link choices (diagonal offsets, nearest-neighbour matchings,
+	// demand-aware placement) fill in more keys but hit the same closed
+	// form — the bounds depend only on the relation, never on the motif.
 	islBounds map[islKey][2]float64
 }
 
@@ -170,7 +173,7 @@ func CheckShape(r *Report, n *graph.Network) {
 
 // CheckNetwork runs every per-snapshot physics check against the graph:
 // structure (CheckShape), node geometry, GSL elevation/slant-range
-// feasibility, +Grid ISL length bounds, and link propagation delays.
+// feasibility, per-relation ISL length bounds, and link propagation delays.
 func (g *Geometry) CheckNetwork(r *Report, n *graph.Network) {
 	CheckShape(r, n)
 	if n.N() != len(n.Pos) || len(n.Name) != len(n.Pos) {

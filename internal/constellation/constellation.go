@@ -31,10 +31,11 @@ type Constellation struct {
 type Option func(*config)
 
 type config struct {
-	epoch    time.Time
-	isls     bool
-	omitSeam bool
-	sgp4     bool
+	epoch      time.Time
+	isls       bool
+	omitSeam   bool
+	sgp4       bool
+	islBuilder func(*Constellation) []ISL
 }
 
 // WithEpoch sets the constellation epoch (default geo.Epoch).
@@ -45,9 +46,24 @@ func WithEpoch(t time.Time) Option { return func(c *config) { c.epoch = t } }
 // satellite are all used within a shell).
 func WithISLs() Option { return func(c *config) { c.isls = true } }
 
-// WithoutSeamISLs omits the cross-plane ISLs between the last and first
-// plane of each Walker-delta shell (the "seam" where satellites travel in
-// opposite directions).
+// WithISLTopology replaces the default +Grid generator with a custom one: the
+// builder receives the fully propagated constellation (satellites, shells,
+// indices) and returns the ISL set, which must be OrderISL-canonical,
+// duplicate-free and intra-shell. Implies WithISLs. The topology lab
+// (internal/topo) threads its pluggable motifs through here.
+func WithISLTopology(build func(*Constellation) []ISL) Option {
+	return func(c *config) {
+		c.isls = true
+		c.islBuilder = build
+	}
+}
+
+// WithoutSeamISLs omits the cross-plane wrap links between the last and
+// first plane of each Walker-delta (RAANSpreadDeg == 360) shell, leaving the
+// plane ring open at an arbitrary point — the ablation for operators that
+// skip those links. Walker-star shells (RAANSpreadDeg < 360) have a physical
+// seam — their first and last planes counter-rotate — so they never get wrap
+// links, with or without this option (see PlusGridISLs for the geometry).
 func WithoutSeamISLs() Option { return func(c *config) { c.omitSeam = true } }
 
 // WithSGP4 propagates satellites with the SGP4 propagator initialized from
@@ -94,7 +110,11 @@ func New(shells []Shell, opts ...Option) (*Constellation, error) {
 		}
 	}
 	if cfg.isls {
-		c.ISLs = plusGrid(c, cfg.omitSeam)
+		if cfg.islBuilder != nil {
+			c.ISLs = cfg.islBuilder(c)
+		} else {
+			c.ISLs = PlusGridISLs(c, cfg.omitSeam)
+		}
 	}
 	props := make([]orbit.Propagator, len(c.Sats))
 	for i := range c.Sats {

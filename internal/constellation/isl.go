@@ -13,11 +13,32 @@ type ISL struct {
 	A, B int
 }
 
-// plusGrid builds the standard +Grid ISL topology (§2): each satellite links
-// to its two neighbours in the same orbit and to the satellite in the same
-// slot of each adjacent plane, yielding 4 ISLs per satellite. Links are
+// PlusGridISLs builds the standard +Grid ISL topology (§2): each satellite
+// links to its two neighbours in the same orbit and to the satellite in the
+// same slot of each adjacent plane, yielding 4 ISLs per satellite. Links are
 // intra-shell only.
-func plusGrid(c *Constellation, omitSeam bool) []ISL {
+//
+// Seam handling distinguishes Walker deltas from Walker stars:
+//
+//   - A Walker-delta shell (RAANSpreadDeg == 360, e.g. Starlink/Kuiper)
+//     spreads its planes over the full RAAN circle, so plane P−1 and plane 0
+//     are as adjacent as any interior pair and the plane ring closes with a
+//     wrap link. Wrapping the ring accumulates a mean-anomaly shift of
+//     exactly WalkerF slot spacings, so the wrap connects slot j of the last
+//     plane to slot j+WalkerF of plane 0, keeping seam links as short as
+//     interior ones. omitSeam (WithoutSeamISLs) drops this wrap — the
+//     ablation modelling operators that leave the delta ring open.
+//
+//   - A Walker-star shell (RAANSpreadDeg < 360, e.g. polar shells at 180°)
+//     has a physical seam: the first and last planes are co-located in RAAN
+//     but ascending on opposite sides of the Earth, so satellites there
+//     counter-rotate and a laser link could not track. The wrap is never
+//     generated for star shells, regardless of omitSeam.
+//
+// The generation order (plane-major, slot-minor, intra-plane before
+// cross-plane) is part of the contract: graph building appends ISLs in this
+// order, and the topo regression suite pins the exact byte sequence.
+func PlusGridISLs(c *Constellation, omitSeam bool) []ISL {
 	var isls []ISL
 	for si, sh := range c.Shells {
 		for plane := 0; plane < sh.Planes; plane++ {
@@ -27,7 +48,7 @@ func plusGrid(c *Constellation, omitSeam bool) []ISL {
 				if sh.SatsPerPlane > 1 {
 					b := c.SatIndex(si, plane, (slot+1)%sh.SatsPerPlane)
 					if a != b {
-						isls = append(isls, orderISL(a, b))
+						isls = append(isls, OrderISL(a, b))
 					}
 				}
 				// Cross-plane: same slot, next plane (ring over planes).
@@ -35,6 +56,9 @@ func plusGrid(c *Constellation, omitSeam bool) []ISL {
 					next := plane + 1
 					tgtSlot := slot
 					if next == sh.Planes {
+						// Star shells never close the plane ring (the seam
+						// planes counter-rotate); delta shells do unless the
+						// seam ablation asked otherwise.
 						if omitSeam || sh.RAANSpreadDeg < 360 {
 							continue
 						}
@@ -47,23 +71,28 @@ func plusGrid(c *Constellation, omitSeam bool) []ISL {
 					}
 					b := c.SatIndex(si, next, tgtSlot)
 					if a != b {
-						isls = append(isls, orderISL(a, b))
+						isls = append(isls, OrderISL(a, b))
 					}
 				}
 			}
 		}
 	}
-	return dedupISLs(isls)
+	return DedupISLs(isls)
 }
 
-func orderISL(a, b int) ISL {
+// OrderISL returns the canonical representation of an ISL between satellites
+// a and b: endpoints ordered so A < B.
+func OrderISL(a, b int) ISL {
 	if a > b {
 		a, b = b, a
 	}
 	return ISL{A: a, B: b}
 }
 
-func dedupISLs(in []ISL) []ISL {
+// DedupISLs removes duplicate links in place, keeping first occurrences in
+// their original order (links must already be OrderISL-canonical for
+// duplicates to be recognized).
+func DedupISLs(in []ISL) []ISL {
 	seen := make(map[ISL]struct{}, len(in))
 	out := in[:0]
 	for _, l := range in {

@@ -1,0 +1,117 @@
+package constellation
+
+import "testing"
+
+// hasISL reports whether the constellation carries the (canonical) link a–b.
+func hasISL(c *Constellation, a, b int) bool {
+	want := OrderISL(a, b)
+	for _, l := range c.ISLs {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// crossPlaneLinks counts links whose endpoints sit in different planes of
+// shell 0, bucketed by whether they wrap the plane ring (last plane ↔ plane
+// 0) or join interior neighbours.
+func crossPlaneLinks(c *Constellation) (interior, wrap int) {
+	sh := c.Shells[0]
+	for _, l := range c.ISLs {
+		pa, pb := c.Sats[l.A].Plane, c.Sats[l.B].Plane
+		switch {
+		case pa == pb:
+		case (pa == 0 && pb == sh.Planes-1) || (pa == sh.Planes-1 && pb == 0):
+			wrap++
+		default:
+			interior++
+		}
+	}
+	return interior, wrap
+}
+
+// A Walker-delta shell closes its plane ring with wrap links, and the wrap
+// absorbs the accumulated WalkerF phasing: slot j of the last plane connects
+// to slot j+F of plane 0.
+func TestPlusGridDeltaSeamWrap(t *testing.T) {
+	sh := TestShell() // 8×8 delta, WalkerF=1, RAANSpreadDeg=360
+	c, err := New([]Shell{sh}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior, wrap := crossPlaneLinks(c)
+	if wrap != sh.SatsPerPlane {
+		t.Fatalf("delta shell: %d wrap links, want %d (one per slot)", wrap, sh.SatsPerPlane)
+	}
+	if want := (sh.Planes - 1) * sh.SatsPerPlane; interior != want {
+		t.Fatalf("delta shell: %d interior cross-plane links, want %d", interior, want)
+	}
+	for j := 0; j < sh.SatsPerPlane; j++ {
+		a := c.SatIndex(0, sh.Planes-1, j)
+		b := c.SatIndex(0, 0, (j+sh.WalkerF)%sh.SatsPerPlane)
+		if !hasISL(c, a, b) {
+			t.Errorf("delta seam: missing wrap link (plane %d, slot %d)–(plane 0, slot %d)",
+				sh.Planes-1, j, (j+sh.WalkerF)%sh.SatsPerPlane)
+		}
+		// The naive same-slot wrap would be WalkerF slots out of phase and
+		// must not exist (unless F ≡ 0 makes them the same link).
+		if sh.WalkerF%sh.SatsPerPlane != 0 {
+			if hasISL(c, a, c.SatIndex(0, 0, j)) {
+				t.Errorf("delta seam: unexpected same-slot wrap at slot %d (ignores WalkerF shift)", j)
+			}
+		}
+	}
+}
+
+// WithoutSeamISLs removes exactly the delta shell's wrap links and nothing
+// else.
+func TestPlusGridDeltaSeamOmitted(t *testing.T) {
+	sh := TestShell()
+	c, err := New([]Shell{sh}, WithISLs(), WithoutSeamISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior, wrap := crossPlaneLinks(c)
+	if wrap != 0 {
+		t.Fatalf("WithoutSeamISLs: %d wrap links remain", wrap)
+	}
+	if want := (sh.Planes - 1) * sh.SatsPerPlane; interior != want {
+		t.Fatalf("WithoutSeamISLs: %d interior cross-plane links, want %d", interior, want)
+	}
+	full, err := New([]Shell{sh}, WithISLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(c.ISLs), len(full.ISLs)-sh.SatsPerPlane; got != want {
+		t.Fatalf("WithoutSeamISLs removed %d links, want exactly the %d wraps",
+			len(full.ISLs)-got, sh.SatsPerPlane)
+	}
+}
+
+// A Walker-star shell (RAANSpreadDeg < 360) never wraps its plane ring: the
+// first and last planes counter-rotate across the physical seam. Both option
+// branches must agree.
+func TestPlusGridStarSeamNeverWraps(t *testing.T) {
+	sh := PolarShell() // 180° star
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"default", []Option{WithISLs()}},
+		{"withoutSeam", []Option{WithISLs(), WithoutSeamISLs()}},
+	} {
+		c, err := New([]Shell{sh}, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interior, wrap := crossPlaneLinks(c)
+		if wrap != 0 {
+			t.Errorf("%s: star shell has %d wrap links across the seam", tc.name, wrap)
+		}
+		if want := (sh.Planes - 1) * sh.SatsPerPlane; interior != want {
+			t.Errorf("%s: star shell has %d interior cross-plane links, want %d",
+				tc.name, interior, want)
+		}
+	}
+}

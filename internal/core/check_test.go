@@ -3,7 +3,11 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"sync"
 	"testing"
+	"time"
+
+	"leosim/internal/topo"
 )
 
 // TestRunCheckCleanReferenceScenarios is the "no violations" acceptance
@@ -81,5 +85,48 @@ func TestRunCheckSGP4(t *testing.T) {
 			t.Errorf("[%s %s/%s] %s", v.Class, v.Snapshot, v.Mode, v.Detail)
 		}
 		t.Fatalf("SGP4 sweep: %s", rep.Summary())
+	}
+}
+
+// TestRunCheckEpochAwareMotif pins the per-snapshot re-placement of
+// epoch-aware motifs: a nearest-neighbour matching frozen at the epoch
+// drifts until its chords cut through the Earth (kuiper tiny flagged 892
+// isl-geometry violations at t+2h before the snapshot builder learned to
+// call LinksAt per build instant). The sweep must come back clean on both
+// reference constellations, and concurrent snapshot builds must not race on
+// the live ISL swap.
+func TestRunCheckEpochAwareMotif(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-snapshot invariant sweeps in -short mode")
+	}
+	for _, choice := range []ConstellationChoice{Starlink, Kuiper} {
+		s, err := NewSim(choice, TinyScale(), WithMotifID(topo.Nearest))
+		if err != nil {
+			t.Fatalf("%v: %v", choice, err)
+		}
+		// Concurrent builds across distinct late instants: the epoch-aware
+		// swap serializes them; -race keeps it honest.
+		times := s.SnapshotTimes()
+		var wg sync.WaitGroup
+		for _, at := range []time.Time{times[0], times[len(times)/2], times[len(times)-1]} {
+			for _, mode := range []Mode{BP, Hybrid} {
+				wg.Add(1)
+				go func(at time.Time, mode Mode) {
+					defer wg.Done()
+					s.NetworkAt(at, mode)
+				}(at, mode)
+			}
+		}
+		wg.Wait()
+		rep, err := RunCheck(context.Background(), s, CheckOptions{Snapshots: 3})
+		if err != nil {
+			t.Fatalf("%v: RunCheck: %v", choice, err)
+		}
+		if !rep.OK() {
+			for _, v := range rep.Violations() {
+				t.Errorf("%v: [%s %s/%s] %s", choice, v.Class, v.Snapshot, v.Mode, v.Detail)
+			}
+			t.Fatalf("%v: %s", choice, rep.Summary())
+		}
 	}
 }

@@ -118,6 +118,12 @@ func TestRunEntryPointsDeterministic(t *testing.T) {
 		{"check", nil, nil, func(ctx context.Context, s *Sim) (interface{}, error) {
 			return RunCheck(ctx, s, CheckOptions{Snapshots: 1, PairSample: 8, OptimalitySample: 2})
 		}},
+		{"topo", nil, nil, func(ctx context.Context, s *Sim) (interface{}, error) {
+			return RunTopo(ctx, s, TopoOptions{
+				ChurnStep:   2 * time.Second,
+				ChurnWindow: 10 * time.Second,
+			})
+		}},
 	}
 
 	ctx := context.Background()

@@ -173,6 +173,66 @@ func (r *TEResult) MarshalJSON() ([]byte, error) {
 		r.ShortestDelayMs, r.TEDelayMs, r.TEMaxUtil, r.ThroughputGainFrac()})
 }
 
+// MarshalJSON names motif and mode of a topology-lab cell.
+func (c TopoCell) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Motif                string   `json:"motif"`
+		Mode                 string   `json:"mode"`
+		ISLCount             int      `json:"islCount"`
+		MeanISLKm            float64  `json:"meanIslKm"`
+		MedianRTTMs          *float64 `json:"medianRttMs"`
+		P99RTTMs             *float64 `json:"p99RttMs"`
+		DemandWeightedMedian *float64 `json:"demandWeightedMedianRttMs"`
+		UnreachableFrac      float64  `json:"unreachableFrac"`
+		ThroughputGbps       float64  `json:"throughputGbps"`
+		FaultMedianRTTMs     *float64 `json:"faultMedianRttMs"`
+		FaultUnreachableFrac float64  `json:"faultUnreachableFrac"`
+		ThroughputRetention  float64  `json:"throughputRetention"`
+		RouteChangesPerMin   float64  `json:"routeChangesPerMin"`
+		FullRebuilds         int      `json:"fullRebuilds"`
+	}{
+		Motif: c.Motif.String(), Mode: c.Mode.String(),
+		ISLCount: c.ISLCount, MeanISLKm: c.MeanISLKm,
+		MedianRTTMs: finiteOrNil(c.MedianRTTMs), P99RTTMs: finiteOrNil(c.P99RTTMs),
+		DemandWeightedMedian: finiteOrNil(c.DemandWeightedMedianRTTMs),
+		UnreachableFrac:      c.UnreachableFrac,
+		ThroughputGbps:       c.ThroughputGbps,
+		FaultMedianRTTMs:     finiteOrNil(c.FaultMedianRTTMs),
+		FaultUnreachableFrac: c.FaultUnreachableFrac,
+		ThroughputRetention:  c.ThroughputRetention,
+		RouteChangesPerMin:   c.RouteChangesPerMin,
+		FullRebuilds:         c.FullRebuilds,
+	})
+}
+
+// MarshalJSON names the sweep configuration of the topology-lab result.
+func (r *TopoResult) MarshalJSON() ([]byte, error) {
+	motifs := make([]string, len(r.Motifs))
+	for i, m := range r.Motifs {
+		motifs[i] = m.String()
+	}
+	return json.Marshal(struct {
+		Motifs          []string   `json:"motifs"`
+		K               int        `json:"k"`
+		FaultScenario   string     `json:"faultScenario"`
+		FaultFraction   float64    `json:"faultFraction"`
+		FaultSeed       int64      `json:"faultSeed"`
+		ChurnStep       string     `json:"churnStep"`
+		ChurnWindow     string     `json:"churnWindow"`
+		SnapshotsUsed   int        `json:"snapshotsUsed"`
+		DemandAdvantage float64    `json:"demandVsPlusGridAdvantagePct"`
+		Cells           []TopoCell `json:"cells"`
+	}{
+		Motifs: motifs, K: r.K,
+		FaultScenario: string(r.FaultScenario), FaultFraction: r.FaultFraction,
+		FaultSeed: r.FaultSeed,
+		ChurnStep: r.ChurnStep.String(), ChurnWindow: r.ChurnWindow.String(),
+		SnapshotsUsed:   r.SnapshotsUsed,
+		DemandAdvantage: r.DemandAdvantagePct(),
+		Cells:           r.Cells,
+	})
+}
+
 // finiteOrNil maps non-finite floats (unreachable medians, infinite
 // inflation) to JSON null, which encoding/json cannot represent otherwise.
 func finiteOrNil(x float64) *float64 {

@@ -15,6 +15,7 @@ import (
 	"leosim/internal/safe"
 	"leosim/internal/snapcache"
 	"leosim/internal/telemetry"
+	"leosim/internal/topo"
 )
 
 // Sim owns the simulation state for one constellation at one scale: the
@@ -29,6 +30,12 @@ type Sim struct {
 	Fleet  *aircraft.Fleet
 	Cities []ground.City
 	Pairs  []Pair
+
+	// Motif is the ISL topology strategy the constellation was built with;
+	// nil means the default +Grid. Epoch-aware motifs are re-placed for
+	// every snapshot build (Const.ISLs holds the most recently built
+	// instant's links).
+	Motif topo.Motif
 
 	// SatCapGbps is the aggregate GSL capacity pool per satellite and
 	// direction (§2: satellites share their up-down capacity across the
@@ -72,6 +79,9 @@ type simConfig struct {
 	sgp4         bool
 	satCap       float64
 	satCapSet    bool
+	motif        topo.Motif
+	motifID      topo.ID
+	motifIDSet   bool
 }
 
 // WithSatelliteCapacity sets the per-satellite aggregate GSL capacity pool
@@ -102,6 +112,22 @@ func WithSGP4Propagation() SimOption {
 	return func(c *simConfig) { c.sgp4 = true }
 }
 
+// WithMotif replaces the default +Grid ISL topology with a motif from the
+// topology lab (internal/topo). Epoch-aware motifs (nearest, demand) are
+// recomputed for every snapshot build; static motifs keep the link set
+// placed at construction. A nil motif keeps the default.
+func WithMotif(m topo.Motif) SimOption {
+	return func(c *simConfig) { c.motif = m }
+}
+
+// WithMotifID is WithMotif resolving a built-in motif by ID inside NewSim,
+// where the sim's own city set is available — so the demand-aware motif
+// optimizes for the same demand model the experiments sample traffic from.
+// This is the path the -motif CLI flag takes.
+func WithMotifID(id topo.ID) SimOption {
+	return func(c *simConfig) { c.motifID, c.motifIDSet = id, true }
+}
+
 // NewSim assembles a simulation.
 func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, error) {
 	if err := scale.Validate(); err != nil {
@@ -112,16 +138,29 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		o(&cfg)
 	}
 
+	// Cities load before the constellation so a motif resolved by ID can
+	// optimize for the sim's own demand model.
+	cities, err := ground.Cities(scale.NumCities)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.motifIDSet {
+		m, err := topo.Build(cfg.motifID, topo.Config{Cities: cities})
+		if err != nil {
+			return nil, err
+		}
+		cfg.motif = m
+	}
+
 	shells := append([]constellation.Shell{choice.Shell()}, cfg.extraShells...)
 	constOpts := []constellation.Option{constellation.WithISLs()}
+	if cfg.motif != nil {
+		constOpts = append(constOpts, topo.Option(cfg.motif))
+	}
 	if cfg.sgp4 {
 		constOpts = append(constOpts, constellation.WithSGP4())
 	}
 	c, err := constellation.New(shells, constOpts...)
-	if err != nil {
-		return nil, err
-	}
-	cities, err := ground.Cities(scale.NumCities)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +191,7 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		Scale:      scale,
 		SatCapGbps: satCap,
 		Choice:     choice,
+		Motif:      cfg.motif,
 		Const:      c,
 		Seg:        seg,
 		Fleet:      fleet,
@@ -167,10 +207,22 @@ func NewSim(choice ConstellationChoice, scale Scale, opts ...SimOption) (*Sim, e
 		}
 		s.builders[mode] = b
 	}
+	ea, epochAware := cfg.motif.(topo.EpochAware)
+	var motifMu sync.Mutex
 	s.snap = snapcache.New(func(_ context.Context, key snapcache.Key) (*graph.Network, error) {
 		mode := BP
 		if key.Scenario == Hybrid.String() {
 			mode = Hybrid
+		}
+		if epochAware && mode == Hybrid {
+			// Epoch-aware motifs re-place their links for the build
+			// instant — a matching frozen at the epoch drifts until its
+			// chords cut the atmosphere (the invariant checker catches
+			// exactly that). The builder reads c.ISLs live, so the swap
+			// and the build are serialized; BP builds never read ISLs.
+			motifMu.Lock()
+			defer motifMu.Unlock()
+			c.ISLs = ea.LinksAt(c, key.Time)
 		}
 		return s.builderFor(mode).At(key.Time), nil
 	}, snapcache.Options{Capacity: networkCacheSize})

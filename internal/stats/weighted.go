@@ -1,0 +1,41 @@
+package stats
+
+import "sort"
+
+// WeightedPercentile returns the p-th percentile (p in [0,100]) of xs under
+// non-negative weights ws: the smallest x such that the cumulative weight of
+// samples ≤ x reaches p% of the total. len(ws) must equal len(xs); zero total
+// weight (or empty input) returns 0. The topo sweep uses it for
+// demand-weighted latency, where a pair counts by its gravity weight rather
+// than once.
+func WeightedPercentile(xs, ws []float64, p float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0
+	}
+	type wv struct{ x, w float64 }
+	s := make([]wv, 0, len(xs))
+	var total float64
+	for i, x := range xs {
+		if ws[i] <= 0 {
+			continue
+		}
+		s = append(s, wv{x: x, w: ws[i]})
+		total += ws[i]
+	}
+	if total <= 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].x < s[j].x })
+	target := p / 100 * total
+	var cum float64
+	for _, e := range s {
+		cum += e.w
+		if cum >= target {
+			return e.x
+		}
+	}
+	return s[len(s)-1].x
+}
+
+// WeightedMedian is WeightedPercentile at p = 50.
+func WeightedMedian(xs, ws []float64) float64 { return WeightedPercentile(xs, ws, 50) }

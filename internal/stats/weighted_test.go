@@ -1,0 +1,27 @@
+package stats
+
+import "testing"
+
+func TestWeightedMedian(t *testing.T) {
+	// Uniform weights degrade to the plain (lower) median.
+	if got := WeightedMedian([]float64{3, 1, 2}, []float64{1, 1, 1}); got != 2 {
+		t.Errorf("uniform weighted median = %v, want 2", got)
+	}
+	// A dominant weight drags the median onto its sample.
+	if got := WeightedMedian([]float64{1, 2, 100}, []float64{1, 1, 10}); got != 100 {
+		t.Errorf("dominant-weight median = %v, want 100", got)
+	}
+	// Zero-weight samples are ignored entirely.
+	if got := WeightedMedian([]float64{5, 1000}, []float64{1, 0}); got != 5 {
+		t.Errorf("zero-weight median = %v, want 5", got)
+	}
+	if got := WeightedMedian(nil, nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	if got := WeightedMedian([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", got)
+	}
+	if got := WeightedPercentile([]float64{1, 2, 3, 4}, []float64{1, 1, 1, 1}, 100); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+}

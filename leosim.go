@@ -41,6 +41,7 @@ import (
 	"leosim/internal/itur"
 	"leosim/internal/stats"
 	"leosim/internal/telemetry"
+	"leosim/internal/topo"
 )
 
 // Connectivity modes and constellation choices.
@@ -53,6 +54,21 @@ const (
 	Starlink = core.Starlink
 	// Kuiper selects the 34×34 / 630 km / 51.9° phase-1 shell.
 	Kuiper = core.Kuiper
+)
+
+// ISL topology motifs for the topology lab (internal/topo).
+const (
+	// PlusGridMotif is the paper's §2 +Grid baseline.
+	PlusGridMotif = topo.PlusGrid
+	// DiagGridMotif shifts cross-plane links by a slot offset.
+	DiagGridMotif = topo.DiagGrid
+	// LadderMotif keeps only the intra-plane rings (2 ISLs/sat).
+	LadderMotif = topo.Ladder
+	// NearestMotif greedily matches nearest inter-plane neighbours,
+	// recomputed per snapshot epoch.
+	NearestMotif = topo.Nearest
+	// DemandMotif places a fixed ISL budget along gravity demand.
+	DemandMotif = topo.Demand
 )
 
 // Fault-injection scenarios for RunResilience.
@@ -163,6 +179,18 @@ type (
 	CheckReport = check.Report
 	// CheckViolation is one sampled invariant violation.
 	CheckViolation = check.Violation
+	// Motif is an ISL link-placement strategy (topology lab).
+	Motif = topo.Motif
+	// MotifID names a built-in motif (PlusGridMotif, DiagGridMotif, …).
+	MotifID = topo.ID
+	// MotifConfig carries motif construction knobs.
+	MotifConfig = topo.Config
+	// TopoOptions configures the topology-lab sweep.
+	TopoOptions = core.TopoOptions
+	// TopoResult is the motif × mode comparison table.
+	TopoResult = core.TopoResult
+	// TopoCell is one motif × mode cell of it.
+	TopoCell = core.TopoCell
 )
 
 // Experiment sizing presets.
@@ -197,6 +225,17 @@ var (
 	Cities = ground.Cities
 	// SamplePairs draws the paper's traffic matrix.
 	SamplePairs = core.SamplePairs
+	// WithMotif replaces the +Grid ISL topology with a custom motif.
+	WithMotif = core.WithMotif
+	// WithMotifID resolves a built-in motif by ID inside NewSim (the
+	// -motif CLI path), handing it the sim's own demand model.
+	WithMotifID = core.WithMotifID
+	// BuildMotif constructs a built-in motif from its ID and config.
+	BuildMotif = topo.Build
+	// ParseMotif resolves a motif name ("plus-grid", "diag-grid", …).
+	ParseMotif = topo.ParseID
+	// MotifIDs lists every built-in motif.
+	MotifIDs = topo.IDs
 )
 
 // Experiments — one per table/figure of the paper's evaluation.
@@ -263,6 +302,9 @@ var (
 	// physics, path optimality/symmetry/dominance, and max-min optimality
 	// conditions. Backs `leosim check`.
 	RunCheck = core.RunCheck
+	// RunTopo runs the topology-lab sweep: every motif × {BP, Hybrid}
+	// compared on latency, throughput, fault resilience and route churn.
+	RunTopo = core.RunTopo
 )
 
 // Report writers (text renderings of each figure/table).
@@ -286,6 +328,7 @@ var (
 	WritePathChurnReport   = core.WritePathChurnReport
 	WriteChurnReport       = core.WriteChurnReport
 	WriteResilienceReport  = core.WriteResilienceReport
+	WriteTopoReport        = core.WriteTopoReport
 	// WriteJSON emits any experiment result as a JSON envelope.
 	WriteJSON = core.WriteJSON
 	// WriteJSONPartial is WriteJSON with an explicit partial flag (used

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Run a benchmark suite and record it in its trajectory JSON file.
 #
-# usage: scripts/bench.sh [routing|snapshot|all] [label]
+# usage: scripts/bench.sh [routing|snapshot|topo|all] [label]
 #
 # Targets:
 #   routing   — the routing hot path (Dijkstra, ShortestPath, KDisjointPaths,
@@ -9,7 +9,10 @@
 #   snapshot  — the snapshot engine at paper scale: one full At() rebuild vs
 #               one incremental Advance() step at 1-second resolution
 #               → BENCH_snapshot.json
-#   all       — both (default)
+#   topo      — ISL motif construction cost at Starlink scale (one build per
+#               motif, including the demand optimizer's greedy placement)
+#               → BENCH_topo.json
+#   all       — all of the above (default)
 #
 # The label names the run inside the trajectory file (default "current");
 # rerunning with the same label replaces that run in place, so each file keeps
@@ -44,15 +47,23 @@ run_snapshot() {
 		go run ./scripts/benchjson -label "$LABEL" -out BENCH_snapshot.json
 }
 
+run_topo() {
+	go test -run '^$' -bench '^BenchmarkMotifBuild$' -benchmem -count 1 \
+		./internal/topo |
+		go run ./scripts/benchjson -label "$LABEL" -out BENCH_topo.json
+}
+
 case "$TARGET" in
 routing) run_routing ;;
 snapshot) run_snapshot ;;
+topo) run_topo ;;
 all)
 	run_routing
 	run_snapshot
+	run_topo
 	;;
 *)
-	echo "usage: scripts/bench.sh [routing|snapshot|all] [label]" >&2
+	echo "usage: scripts/bench.sh [routing|snapshot|topo|all] [label]" >&2
 	exit 2
 	;;
 esac
