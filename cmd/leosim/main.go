@@ -58,6 +58,17 @@ var stdout io.Writer = os.Stdout
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT dumps the flight recorder to stderr and keeps running — the
+	// "what has this stuck process been doing" probe for batch sweeps and
+	// serve alike. (This replaces the Go runtime's kill-with-stacks default;
+	// use SIGABRT for goroutine dumps.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			leosim.DumpTelemetryEvents(os.Stderr)
+		}
+	}()
 	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "leosim:", err)
 		os.Exit(1)
@@ -113,6 +124,7 @@ func run(ctx context.Context, args []string) error {
 	verbose := fs.Bool("v", false, "debug logging plus progress/ETA lines for long-running phases on stderr")
 	quiet := fs.Bool("quiet", false, "errors only on stderr (overrides -v)")
 	traceFile := fs.String("trace", "", "write a runtime/trace of the run to this file")
+	traceEventFile := fs.String("tracefile", "", "write a Chrome trace_event JSON span trace of the run (open in Perfetto) to this file")
 	seed := fs.Int64("seed", 0, "override the traffic-matrix sampling seed (0 = scale default)")
 	pairs := fs.Int("pairs", 0, "override the number of sampled city pairs (0 = scale default)")
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
@@ -180,6 +192,32 @@ func run(ctx context.Context, args []string) error {
 	// enabled is still nanoseconds per stage, and the per-run breakdown
 	// (stage_times, debug logs) depends on it.
 	leosim.EnableTelemetry()
+	// -tracefile captures every span the run completes — one track per
+	// snapshot — and exports Chrome trace_event JSON for Perfetto.
+	if *traceEventFile != "" {
+		if _, err := leosim.StartTracing(leosim.DefaultTraceCapacity); err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		defer func() {
+			tr := leosim.StopTracing()
+			if tr == nil {
+				return
+			}
+			f, err := atomicfile.Create(*traceEventFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: tracefile:", err)
+				return
+			}
+			defer f.Abort() // no-op once committed
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: tracefile:", err)
+				return
+			}
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "leosim: tracefile:", err)
+			}
+		}()
+	}
 	// Profiles and traces go through atomic temp+fsync+rename writes: a
 	// crash mid-run leaves no truncated file for pprof to choke on later.
 	if *traceFile != "" {
@@ -278,6 +316,7 @@ func run(ctx context.Context, args []string) error {
 		if jour != nil {
 			if out, ok := jour.DoneOutput(e); ok {
 				logger.Info("experiment replayed from journal", "name", e)
+				leosim.EmitJournalReplayEvent(e, len(out))
 				if _, err := stdout.Write(out); err != nil {
 					return err
 				}

@@ -61,7 +61,7 @@ func runServe(ctx context.Context, args []string) error {
 	logFormat := fs.String("log-format", "text", "request log format: text|json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz /metrics\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz\n           /metrics (JSON; ?format=prometheus for text exposition)\n           /debug/events (flight recorder) /debug/trace (Perfetto span capture)\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -tracefile exports the run as Chrome trace_event JSON: a well-formed
+// {"traceEvents": [...]} envelope whose complete spans include one
+// "snapshot[i]" envelope per swept snapshot (each its own Perfetto track)
+// with the pipeline-stage spans recorded under them.
+func TestRunTraceEventFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	err := run(context.Background(), []string{
+		"-scale", "tiny", "-snapshots", "2", "-pairs", "8", "-cdf-points", "0",
+		"-quiet", "-tracefile", out, "fig2a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			DroppedEvents int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-tracefile wrote invalid JSON: %v", err)
+	}
+	snapshots := map[string]bool{}
+	var stageSpans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if strings.HasPrefix(ev.Name, "snapshot[") {
+			snapshots[ev.Name] = true
+		} else {
+			stageSpans++
+		}
+	}
+	if len(snapshots) != 2 {
+		t.Errorf("trace holds %d snapshot envelopes %v, want 2", len(snapshots), snapshots)
+	}
+	if stageSpans == 0 {
+		t.Error("trace holds no pipeline-stage spans")
+	}
+	if doc.OtherData.DroppedEvents != 0 {
+		t.Errorf("droppedEvents = %d, want 0", doc.OtherData.DroppedEvents)
+	}
+
+	// An unwritable path must not fail the run — the sweep's results matter
+	// more than its trace — but it must not leave a partial file either.
+	bad := filepath.Join(out, "nope", "t.json")
+	if err := run(context.Background(), []string{
+		"-scale", "tiny", "-snapshots", "1", "-quiet", "-tracefile", bad, "info"}); err != nil {
+		t.Fatalf("run with unwritable -tracefile: %v", err)
+	}
+	if fi, err := os.Stat(bad); err == nil {
+		t.Errorf("partial trace file left behind: %v", fi.Name())
+	}
+}

@@ -108,6 +108,11 @@ func main() {
 	}
 
 	var tl tally
+	// Every response carries an X-Trace-Id; for degraded answers and 5xx it
+	// is the join key into the server's /debug/events flight recorder, so the
+	// smoke run prints one for the operator to chase.
+	var traceMu sync.Mutex
+	var degradedTrace string
 	// get answers one query, retrying transient failures (429 back-pressure,
 	// injected 5xx, truncated bodies) under backoff. The second result
 	// reports whether an answer was obtained at all.
@@ -144,6 +149,13 @@ func main() {
 				}
 				if body.Degraded != "" {
 					tl.degraded.Add(1)
+					if tid := resp.Header.Get("X-Trace-Id"); tid != "" {
+						traceMu.Lock()
+						if degradedTrace == "" {
+							degradedTrace = tid
+						}
+						traceMu.Unlock()
+					}
 				}
 				tl.ok.Add(1)
 				return body.Path.RTTMs, true, body.Path.Reachable
@@ -151,6 +163,9 @@ func main() {
 				tl.shed.Add(1)
 			case resp.StatusCode >= 500:
 				tl.retried.Add(1)
+				if tid := resp.Header.Get("X-Trace-Id"); tid != "" {
+					log.Printf("status %d trace=%s (see /debug/events), retrying", resp.StatusCode, tid)
+				}
 			default:
 				log.Fatalf("GET /v1/path: unexpected status %d", resp.StatusCode)
 			}
@@ -188,6 +203,9 @@ func main() {
 	fmt.Printf("answered %d/%d (%.1f%%): %d shed+retried, %d 5xx+retried, %d stale, %d degraded, %d gave up\n",
 		tl.ok.Load(), len(queries), rate*100, tl.shed.Load(), tl.retried.Load(),
 		tl.stale.Load(), tl.degraded.Load(), tl.failed.Load())
+	if degradedTrace != "" {
+		fmt.Printf("first degraded answer trace: %s (join it against GET /debug/events)\n", degradedTrace)
+	}
 
 	// Repeat pass, sequentially: every answer must match the concurrent run
 	// bit for bit — cached and freshly-built snapshots are interchangeable.

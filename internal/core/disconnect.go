@@ -65,6 +65,12 @@ func RunDisconnected(ctx context.Context, s *Sim) (res *DisconnectResult, err er
 				break
 			}
 		}
+		if replayed := len(res.FractionPerSnapshot); replayed > 0 {
+			telemetry.EmitEvent(ctx, telemetry.CatJournal, telemetry.SevInfo,
+				"journal replay: snapshots restored from previous run",
+				telemetry.Str("experiment", "disconnected"),
+				telemetry.Int64("snapshots", int64(replayed)))
+		}
 	}
 	for _, t := range times[len(res.FractionPerSnapshot):] {
 		if ctx.Err() != nil {

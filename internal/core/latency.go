@@ -88,6 +88,12 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 				break
 			}
 		}
+		if done > 0 {
+			telemetry.EmitEvent(ctx, telemetry.CatJournal, telemetry.SevInfo,
+				"journal replay: snapshots restored from previous run",
+				telemetry.Str("experiment", "latency"),
+				telemetry.Int64("snapshots", int64(done)))
+		}
 	}
 	// Each mode's walker advances snapshot to snapshot incrementally instead
 	// of rebuilding (journal replay above needs no networks, so the walkers
@@ -98,13 +104,17 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 		if ctx.Err() != nil {
 			break
 		}
+		// Under a running trace capture each snapshot gets its own trace ID:
+		// the exported Chrome trace shows one track per snapshot, its search
+		// fan-out spans nested inside the envelope.
+		sctx, endSnap := traceSnapshot(ctx, done)
 		// Compute both modes for this snapshot before aggregating, so a
 		// cancellation mid-snapshot never leaves one mode's extremes a
 		// snapshot ahead of the other's.
 		snap := map[Mode][]float64{}
 		for _, m := range []Mode{BP, Hybrid} {
 			n := walk[m].At(t)
-			rtts, rerr := s.pairRTTs(ctx, n, false)
+			rtts, rerr := s.pairRTTs(sctx, n, false)
 			if rerr != nil {
 				if ctx.Err() != nil && done > 0 {
 					snap = nil
@@ -114,6 +124,7 @@ func RunLatency(ctx context.Context, s *Sim) (res *LatencyResult, err error) {
 			}
 			snap[m] = rtts
 		}
+		endSnap()
 		if snap == nil {
 			break
 		}

@@ -122,6 +122,12 @@ func RunResilience(ctx context.Context, s *Sim, scenario fault.Scenario, fractio
 	var steps []json.RawMessage
 	if jour != nil {
 		steps = jour.Steps(jkey)
+		if len(steps) > 0 {
+			telemetry.EmitEvent(ctx, telemetry.CatJournal, telemetry.SevInfo,
+				"journal replay: steps restored from previous run",
+				telemetry.Str("experiment", jkey),
+				telemetry.Int64("steps", int64(len(steps))))
+		}
 	}
 
 	// Healthy baseline through the identical code path (zero plan).

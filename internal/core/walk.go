@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"leosim/internal/fault"
 	"leosim/internal/graph"
+	"leosim/internal/telemetry"
 )
 
 // Walker is a forward time cursor over one connectivity mode's network. The
@@ -81,13 +83,33 @@ func (w *Walker) Stats() graph.AdvanceStats {
 // cancellation, returning that error.
 func (s *Sim) Walk(ctx context.Context, mode Mode, times []time.Time, visit func(t time.Time, n *graph.Network) error) error {
 	w := s.NewWalker(mode)
-	for _, t := range times {
+	for i, t := range times {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := visit(t, w.At(t)); err != nil {
+		_, endSnap := traceSnapshot(ctx, i)
+		err := visit(t, w.At(t))
+		endSnap()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// traceSnapshot opens one per-snapshot trace envelope when a trace capture
+// is running: it returns a context carrying a fresh trace ID — spans
+// recorded under it join the snapshot's own track in the exported trace —
+// and a close function. With no capture running it returns ctx unchanged
+// and a no-op, so untraced sweeps pay one atomic load per snapshot.
+func traceSnapshot(ctx context.Context, index int) (context.Context, func()) {
+	if !telemetry.TracingEnabled() {
+		return ctx, func() {}
+	}
+	id := telemetry.NewTraceID()
+	name := fmt.Sprintf("snapshot[%d]", index)
+	start := time.Now()
+	return telemetry.WithTraceID(ctx, id), func() {
+		telemetry.AddTraceSpan(name, id, start, time.Since(start))
+	}
 }

@@ -1,11 +1,14 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"leosim/internal/telemetry"
 )
 
 // InjectedError marks a failure the chaos injector manufactured, so test
@@ -65,7 +68,9 @@ func NewChaos(seed int64, failRate, panicRate float64, delay time.Duration) *Cha
 // BuildHook is the snapshot-build injection point: sleep the configured
 // delay, then panic or fail according to the seeded draw. Matches
 // snapcache's Options.BuildHook signature via a closure over Key.String().
-func (c *Chaos) BuildHook(key string) error {
+// Every injection lands in the flight recorder under CatChaos, carrying the
+// trace ID from ctx so injected faults join to the requests that hit them.
+func (c *Chaos) BuildHook(ctx context.Context, key string) error {
 	if c == nil {
 		return nil
 	}
@@ -89,9 +94,15 @@ func (c *Chaos) BuildHook(key string) error {
 	switch {
 	case draw < c.PanicRate:
 		c.panics.Add(1)
+		telemetry.EmitEvent(ctx, telemetry.CatChaos, telemetry.SevWarn,
+			"chaos injected build panic",
+			telemetry.Str("key", key), telemetry.Int64("draw", n))
 		panic(fmt.Sprintf("fault: injected build panic #%d for %s", n, key))
 	case draw < c.PanicRate+c.FailRate:
 		c.fails.Add(1)
+		telemetry.EmitEvent(ctx, telemetry.CatChaos, telemetry.SevWarn,
+			"chaos injected build failure",
+			telemetry.Str("key", key), telemetry.Int64("draw", n))
 		return &InjectedError{Key: key, N: n}
 	}
 	return nil

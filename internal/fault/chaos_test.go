@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ func TestChaosDeterministicAcrossRuns(t *testing.T) {
 		c := NewChaos(42, 0.3, 0, 0)
 		var out []bool
 		for i := 0; i < 200; i++ {
-			out = append(out, c.BuildHook("k") != nil)
+			out = append(out, c.BuildHook(context.Background(), "k") != nil)
 		}
 		return out
 	}
@@ -30,7 +31,7 @@ func TestChaosFailRateRoughlyHonored(t *testing.T) {
 	fails := 0
 	const N = 2000
 	for i := 0; i < N; i++ {
-		if c.BuildHook("k") != nil {
+		if c.BuildHook(context.Background(), "k") != nil {
 			fails++
 		}
 	}
@@ -45,7 +46,7 @@ func TestChaosFailRateRoughlyHonored(t *testing.T) {
 
 func TestChaosInjectedErrorIsTyped(t *testing.T) {
 	c := NewChaos(1, 1.0, 0, 0)
-	err := c.BuildHook("snap@t0")
+	err := c.BuildHook(context.Background(), "snap@t0")
 	var ie *InjectedError
 	if !errors.As(err, &ie) {
 		t.Fatalf("err = %v, want *InjectedError", err)
@@ -65,14 +66,14 @@ func TestChaosPanics(t *testing.T) {
 			t.Fatalf("Panics() = %d, want 1", c.Panics())
 		}
 	}()
-	c.BuildHook("k")
+	c.BuildHook(context.Background(), "k")
 }
 
 func TestChaosDelayUsesInjectedSleep(t *testing.T) {
 	c := NewChaos(1, 0, 0, 50*time.Millisecond)
 	var slept time.Duration
 	c.Sleep = func(d time.Duration) { slept += d }
-	if err := c.BuildHook("k"); err != nil {
+	if err := c.BuildHook(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
 	if slept != 50*time.Millisecond {
@@ -84,7 +85,7 @@ func TestChaosDelayUsesInjectedSleep(t *testing.T) {
 // variable whether or not chaos is configured.
 func TestNilChaosIsNoop(t *testing.T) {
 	var c *Chaos
-	if err := c.BuildHook("k"); err != nil {
+	if err := c.BuildHook(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -457,6 +457,8 @@ func (a *Advancer) Advance(t1 time.Time) *Delta {
 // rebuild replaces the network with a fresh At build and invalidates the
 // incremental bookkeeping (re-derived lazily on the next incremental step).
 func (a *Advancer) rebuild(t1 time.Time, reason string) *Delta {
+	telemetry.EmitEvent(nil, telemetry.CatAdvance, telemetry.SevInfo,
+		"advancer full-rebuild fallback", telemetry.Str("reason", reason))
 	epoch := a.net.epoch + 1
 	a.net = a.b.At(t1)
 	a.net.epoch = epoch

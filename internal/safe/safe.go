@@ -8,8 +8,11 @@ package safe
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sync"
+
+	"leosim/internal/telemetry"
 )
 
 // PanicError is a recovered panic promoted to an error. Stack is the stack
@@ -37,10 +40,14 @@ func AsError(r interface{}) error {
 
 // RecoverTo is deferred at the top of experiment entry points: it converts
 // an in-flight panic (including one re-thrown by a parallel fan-out) into
-// *errp, so callers see an error instead of a crashed process.
+// *errp, so callers see an error instead of a crashed process. The flight
+// recorder is dumped to stderr at the recovery site — the events leading up
+// to a panic are exactly what a post-mortem needs, and the ring is lost once
+// the error is absorbed upstream. No-op when telemetry is off or empty.
 func RecoverTo(errp *error) {
 	if r := recover(); r != nil && *errp == nil {
 		*errp = AsError(r)
+		telemetry.DumpEvents(os.Stderr)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"leosim/internal/fault"
+	"leosim/internal/telemetry"
 )
 
 // chaosURL builds the /v1/path query for one (snapshot, mode) cache key.
@@ -121,6 +123,144 @@ func TestChaosStormServesResidentKeysWithoutErrors(t *testing.T) {
 	}
 	t.Logf("chaos storm: %d requests, %d prime failures, rate %.3f, injector %d/%d fail/panic",
 		total, failures, rate, chaos.Fails(), chaos.Panics())
+}
+
+// The chaos suite must self-explain: with 30% injected build failures,
+// every single injection appears in /debug/events as a chaos event whose
+// trace ID joins the request that triggered the build — and that request's
+// own outcome (a 5xx, a stale serve, or a degraded fallback) is the
+// response that absorbed it. An operator holding one X-Trace-Id from a bad
+// response can pull the exact injected fault that caused it, and vice versa.
+func TestChaosSelfExplainsInFlightRecorder(t *testing.T) {
+	chaos := fault.NewChaos(99, 0.30, 0.05, 0)
+	s := newTestServer(t, Config{
+		CacheTTL:         time.Millisecond,
+		CacheStaleFor:    time.Hour,
+		BreakerThreshold: -1, // isolate the event join from breaker 503s
+		Chaos:            chaos,
+		MaxInFlight:      64,
+	})
+	// Scope to this storm. The cursor must be read after New, which enables
+	// process-global telemetry (and with it the flight recorder) if needed.
+	since := telemetry.LastEventSeq()
+
+	// outcome is what one request experienced, keyed by its X-Trace-Id.
+	type outcome struct {
+		status   int
+		stale    bool
+		degraded bool
+	}
+	var mu sync.Mutex
+	outcomes := map[string]outcome{}
+	request := func(url string) int {
+		rec := get(s, url)
+		var body struct {
+			Stale    bool   `json:"stale"`
+			Degraded string `json:"degraded"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &body) //nolint:errcheck // error bodies lack the fields
+		mu.Lock()
+		outcomes[rec.Header().Get("X-Trace-Id")] = outcome{
+			status: rec.Code, stale: body.Stale, degraded: body.Degraded != "",
+		}
+		mu.Unlock()
+		return rec.Code
+	}
+
+	// Prime each key through the injected failures, then storm the resident
+	// keys while background rebuilds keep failing.
+	urls := make([]string, 0, 4)
+	for snap := 0; snap < 2; snap++ {
+		for _, mode := range []string{"bp", "hybrid"} {
+			url := chaosURL(t, s, snap, mode)
+			urls = append(urls, url)
+			primed := false
+			for try := 0; try < 50 && !primed; try++ {
+				primed = request(url) == http.StatusOK
+			}
+			if !primed {
+				t.Fatalf("key %s not primed after 50 attempts", url)
+			}
+		}
+	}
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				request(urls[(w+i)%len(urls)])
+				// Pace past the TTL so revalidations (and their injected
+				// failures) keep cycling instead of coalescing into one.
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiesce: background revalidation builds may still be landing their
+	// events; poll until the recorder holds every injection. The registry is
+	// process-global, so a straggler build from an earlier test can land a
+	// foreign chaos event in the ring too — scope the join to events whose
+	// trace belongs to this storm's requests. The scoping costs nothing: an
+	// injection of OURS that lost its trace would drop out of the joined set
+	// and fail the exact-count assertion below.
+	injected := func() int64 { return chaos.Fails() + chaos.Panics() }
+	joinedChaos := func() []telemetry.Event {
+		mu.Lock()
+		defer mu.Unlock()
+		var ours []telemetry.Event
+		for _, e := range telemetry.Events(telemetry.EventFilter{Cat: telemetry.CatChaos, Since: since}) {
+			if _, ok := outcomes[e.Trace.String()]; ok {
+				ours = append(ours, e)
+			}
+		}
+		return ours
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for int64(len(joinedChaos())) < injected() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	evs := joinedChaos()
+	if int64(len(evs)) != injected() {
+		t.Fatalf("flight recorder joins %d chaos events to this storm's requests, injector reports %d (fails=%d panics=%d)",
+			len(evs), injected(), chaos.Fails(), chaos.Panics())
+	}
+	if injected() == 0 {
+		t.Fatal("chaos injected nothing — the join proved nothing")
+	}
+
+	// Every injection joins a request, and that request's response absorbed
+	// the failure: a 5xx, a stale serve, or a degraded fallback. (A 200
+	// with neither marker would mean a failed build silently produced a
+	// fresh answer — the one impossible outcome.)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, e := range evs {
+		oc := outcomes[e.Trace.String()]
+		if oc.status < 500 && !oc.stale && !oc.degraded {
+			t.Errorf("chaos event %d trace %s joined a clean 200 (status=%d stale=%v degraded=%v)",
+				e.Seq, e.Trace, oc.status, oc.stale, oc.degraded)
+		}
+	}
+
+	// The join works in the other direction too: the injections surface as
+	// build-failure events carrying the same trace IDs. (Universal
+	// quantification is again off the table because of foreign stragglers.)
+	var joinedBuildFails int
+	for _, e := range telemetry.Events(telemetry.EventFilter{Cat: telemetry.CatBuild, MinSev: telemetry.SevError, Since: since}) {
+		if _, ok := outcomes[e.Trace.String()]; ok {
+			joinedBuildFails++
+		}
+	}
+	if joinedBuildFails == 0 {
+		t.Error("no build-failure event joins any of this storm's requests")
+	}
+	t.Logf("joined %d injected faults (%d fails, %d panics) across %d requests",
+		injected(), chaos.Fails(), chaos.Panics(), len(outcomes))
 }
 
 // With every build failing, the breaker must trip after the configured

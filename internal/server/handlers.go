@@ -63,6 +63,10 @@ func (s *Server) snapshot(ctx context.Context, t time.Time, mode core.Mode, mask
 	if err == nil {
 		if info.Stale {
 			s.staleResponses.Add(1)
+			telemetry.EmitEvent(ctx, telemetry.CatServe, telemetry.SevInfo,
+				"stale serve: expired snapshot answered, rebuild in background",
+				telemetry.Str("key", key.String()),
+				telemetry.Int64("ageMs", info.Age.Milliseconds()))
 		}
 		return n, snapMeta{Stale: info.Stale}, nil
 	}
@@ -70,16 +74,29 @@ func (s *Server) snapshot(ctx context.Context, t time.Time, mode core.Mode, mask
 		return nil, snapMeta{}, err
 	}
 	if n, info, ok := s.cache.GetCached(key); ok {
-		s.degraded.Add(1)
+		s.noteDegraded(ctx, key.String(), "stale-cache", err)
 		return n, snapMeta{Stale: info.Stale, Degraded: "stale-cache"}, nil
 	}
 	if mode == core.Hybrid {
 		if n, info, ok := s.cache.GetCached(s.cacheKey(t, core.BP, mask)); ok {
-			s.degraded.Add(1)
+			s.noteDegraded(ctx, key.String(), "bp-fallback", err)
 			return n, snapMeta{Stale: info.Stale, Degraded: "bp-fallback"}, nil
 		}
 	}
 	return nil, snapMeta{}, err
+}
+
+// noteDegraded accounts one fallback serve: the counter, the /healthz
+// recency mark, and a flight-recorder event whose trace ID joins the
+// degraded response to the build failure it absorbed.
+func (s *Server) noteDegraded(ctx context.Context, key, fallback string, cause error) {
+	s.degraded.Add(1)
+	s.lastDegraded.Store(time.Now().UnixNano())
+	telemetry.EmitEvent(ctx, telemetry.CatServe, telemetry.SevWarn,
+		"degraded serve: fallback snapshot absorbed a build failure",
+		telemetry.Str("key", key),
+		telemetry.Str("fallback", fallback),
+		telemetry.Str("cause", cause.Error()))
 }
 
 // buildSnapshot is the cache's BuildFunc: it re-derives mode and fault mask
@@ -235,35 +252,56 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// writeErrorTraced is writeError plus the request's trace ID, so an error
+// response joins to the flight-recorder events that explain it.
+func writeErrorTraced(w http.ResponseWriter, status int, msg string, trace telemetry.TraceID) {
+	if trace == 0 {
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, status, map[string]string{"error": msg, "traceId": trace.String()})
+}
+
 // fail maps an error to its status code and counts it. The ladder mirrors
 // the failure modes the admission pipeline produces: client-side parse
 // errors, unknown cities, an open build breaker (503 + Retry-After — the
 // fault is transient by construction), a cancelled client, an expired
-// deadline, and — only then — a genuine server fault.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+// deadline, and — only then — a genuine server fault. Every error body
+// carries the request's trace ID; server-fault classes also land in the
+// flight recorder under that ID.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	ctx := r.Context()
+	trace := telemetry.TraceIDFrom(ctx)
 	var br *badRequestError
 	var nf *notFoundError
 	var boe *snapcache.BreakerOpenError
 	switch {
 	case errors.As(err, &br):
 		s.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, br.msg)
+		writeErrorTraced(w, http.StatusBadRequest, br.msg, trace)
 	case errors.As(err, &nf):
 		s.notFound.Add(1)
-		writeError(w, http.StatusNotFound, nf.msg)
+		writeErrorTraced(w, http.StatusNotFound, nf.msg, trace)
 	case errors.As(err, &boe):
 		s.breakerTrips.Add(1)
+		telemetry.EmitEvent(ctx, telemetry.CatServe, telemetry.SevWarn,
+			"breaker rejected request: builds suspended",
+			telemetry.Int64("retryAfterMs", boe.RetryAfter.Milliseconds()))
 		w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter(boe.RetryAfter)))
-		writeError(w, http.StatusServiceUnavailable, "snapshot builds suspended: "+err.Error())
+		writeErrorTraced(w, http.StatusServiceUnavailable, "snapshot builds suspended: "+err.Error(), trace)
 	case errors.Is(err, context.Canceled):
 		s.cancelled.Add(1)
-		writeError(w, statusClientClosedRequest, "request cancelled by client")
+		writeErrorTraced(w, statusClientClosedRequest, "request cancelled by client", trace)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		telemetry.EmitEvent(ctx, telemetry.CatServe, telemetry.SevError,
+			"request deadline exceeded", telemetry.Str("err", err.Error()))
+		writeErrorTraced(w, http.StatusGatewayTimeout, "request deadline exceeded", trace)
 	default:
 		s.internalErrors.Add(1)
-		writeError(w, http.StatusInternalServerError, err.Error())
+		telemetry.EmitEvent(ctx, telemetry.CatServe, telemetry.SevError,
+			"internal error", telemetry.Str("err", err.Error()))
+		writeErrorTraced(w, http.StatusInternalServerError, err.Error(), trace)
 	}
 }
 
@@ -286,32 +324,32 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	src, err := s.parseCity(r, "src")
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	dst, err := s.parseCity(r, "dst")
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	mode, err := parseMode(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	t, err := s.parseTime(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	mask, err := parseMask(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	q, meta, err := s.pathAt(ctx, t, mode, mask, src, dst)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, pathResponse{
@@ -368,22 +406,22 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	src, err := s.parseCity(r, "src")
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	dst, err := s.parseCity(r, "dst")
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	mode, err := parseMode(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	mask, err := parseMask(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 
@@ -399,12 +437,12 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 			testHookLatencySnapshot()
 		}
 		if err := ctx.Err(); err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		q, meta, err := s.pathAt(ctx, t, mode, mask, src, dst)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		resp.Stale = resp.Stale || meta.Stale
@@ -452,35 +490,35 @@ func (s *Server) handleReachability(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	mode, err := parseMode(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	t, err := s.parseTime(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	mask, err := parseMask(r)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	src, srcName := -1, ""
 	if r.URL.Query().Get("src") != "" {
 		if src, err = s.parseCity(r, "src"); err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		srcName = s.cfg.Sim.CityName(src)
 	}
 	n, meta, err := s.snapshot(ctx, t, mode, mask)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	q, err := s.cfg.Sim.ReachabilityAt(ctx, n, src)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, reachabilityResponse{
@@ -551,19 +589,67 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz answers GET /healthz: liveness plus the build identity, so
-// a fleet can be audited for what it is actually running.
+// errorBudgetJSON summarizes how much failure the serve path has absorbed or
+// surfaced: total requests, hard failures (5xx: internal errors, deadline
+// timeouts, breaker rejects), sheds, degraded/stale serves, and the
+// resulting availability ratio.
+type errorBudgetJSON struct {
+	Requests     int64   `json:"requests"`
+	Errors5xx    int64   `json:"errors5xx"`
+	Shed         int64   `json:"shed"`
+	Degraded     int64   `json:"degraded"`
+	Stale        int64   `json:"stale"`
+	Availability float64 `json:"availability"`
+}
+
+func (s *Server) errorBudgetJSON() errorBudgetJSON {
+	eb := errorBudgetJSON{
+		Requests:  s.requests.Value(),
+		Errors5xx: s.internalErrors.Value() + s.timeouts.Value() + s.breakerTrips.Value(),
+		Shed:      s.shed.Value(),
+		Degraded:  s.degraded.Value(),
+		Stale:     s.staleResponses.Value(),
+	}
+	eb.Availability = 1
+	if eb.Requests > 0 {
+		eb.Availability = 1 - float64(eb.Errors5xx)/float64(eb.Requests)
+	}
+	return eb
+}
+
+// degradedWindow is how long after a fallback serve /healthz keeps reporting
+// "degraded": long enough for a probe on a typical scrape interval to see it.
+const degradedWindow = time.Minute
+
+// handleHealthz answers GET /healthz: liveness plus the build identity, so a
+// fleet can be audited for what it is actually running, plus the self-healing
+// posture — breaker state, cache generation, and the error-budget summary.
+// Status is "degraded" (still 200: the process is healthy, the answers are
+// second-best) while the breaker is not closed or a fallback serve happened
+// within the last minute.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	br := s.breakerJSON()
+	status := "ok"
+	if last := s.lastDegraded.Load(); br.State != snapcache.BreakerClosed.String() ||
+		(last != 0 && time.Since(time.Unix(0, last)) < degradedWindow) {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status    string       `json:"status"`
-		Version   version.Info `json:"version"`
-		Sim       string       `json:"sim"`
-		UptimeSec float64      `json:"uptimeSec"`
+		Status          string          `json:"status"`
+		Version         version.Info    `json:"version"`
+		Sim             string          `json:"sim"`
+		UptimeSec       float64         `json:"uptimeSec"`
+		Breaker         breakerJSON     `json:"breaker"`
+		CacheGeneration uint64          `json:"cacheGeneration"`
+		ErrorBudget     errorBudgetJSON `json:"errorBudget"`
 	}{
-		Status:    "ok",
-		Version:   version.Get(),
-		Sim:       s.cfg.Sim.String(),
-		UptimeSec: time.Since(s.started).Seconds(),
+		Status:          status,
+		Version:         version.Get(),
+		Sim:             s.cfg.Sim.String(),
+		UptimeSec:       time.Since(s.started).Seconds(),
+		Breaker:         br,
+		CacheGeneration: s.cache.Generation(),
+		ErrorBudget:     s.errorBudgetJSON(),
 	})
 }
 
@@ -580,11 +666,26 @@ type metricsResponse struct {
 	Runtime telemetry.RuntimeStats                 `json:"runtime"`
 }
 
-// handleMetrics answers GET /metrics as one JSON object. Server counters
-// live in a per-server registry so several Server instances never share a
-// namespace; the stage histograms come from the process-global telemetry
-// registry New enabled.
+// handleMetrics answers GET /metrics as one JSON object, or — with
+// ?format=prometheus — in Prometheus text exposition format (this server's
+// registry plus the process-global pipeline-stage histograms, all under the
+// "leosim_" prefix). Server counters live in a per-server registry so
+// several Server instances never share a namespace; the stage histograms
+// come from the process-global telemetry registry New enabled.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w, "leosim_"); err != nil {
+			return // client gone mid-scrape
+		}
+		if reg := telemetry.Active(); reg != nil {
+			// The server registry records no stage spans of its own (those go
+			// to the process-global registry), so the two exports never emit
+			// the same family twice.
+			reg.WritePrometheusStages(w, "leosim_") //nolint:errcheck
+		}
+		return
+	}
 	resp := metricsResponse{
 		Server:  s.reg.Snapshot(),
 		Cache:   s.cacheStatsJSON(),

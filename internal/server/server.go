@@ -161,6 +161,10 @@ type Server struct {
 	badRequests, notFound, internalErrors  *telemetry.Counter
 	degraded, staleResponses, breakerTrips *telemetry.Counter
 	inflight                               *telemetry.Gauge
+
+	// lastDegraded is the unix-nano time of the most recent degraded
+	// (fallback) serve; /healthz reports "degraded" while it is recent.
+	lastDegraded atomic.Int64
 }
 
 // New builds a Server for cfg.
@@ -182,8 +186,10 @@ func New(cfg Config) (*Server, error) {
 		BuildTimeout:     cfg.BuildTimeout,
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  cfg.BreakerCooldown,
-		// fault.Chaos is nil-safe, so the hook is wired unconditionally.
-		BuildHook: func(k snapcache.Key) error { return cfg.Chaos.BuildHook(k.String()) },
+		// fault.Chaos is nil-safe, so the hook is wired unconditionally. The
+		// build context still carries the triggering request's trace ID, so
+		// injected faults join to requests in the flight recorder.
+		BuildHook: func(ctx context.Context, k snapcache.Key) error { return cfg.Chaos.BuildHook(ctx, k.String()) },
 	})
 	s.log = cfg.Logger
 
@@ -244,6 +250,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/snapshots", s.instrumented("snapshots", slog.LevelDebug, s.handleSnapshots))
 	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", slog.LevelDebug, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrumented("metrics", slog.LevelDebug, s.handleMetrics))
+	// Observability endpoints: the flight recorder (what happened, in what
+	// order) and a bounded on-demand trace capture. Never shed, like the
+	// other introspection routes.
+	s.mux.HandleFunc("GET /debug/events", s.instrumented("debug_events", slog.LevelDebug, s.handleEvents))
+	s.mux.HandleFunc("GET /debug/trace", s.instrumented("debug_trace", slog.LevelDebug, s.handleTraceCapture))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -276,20 +287,27 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrumented wraps a handler with the observability envelope: a request id,
-// a per-request telemetry recorder (carried in the context, so every pipeline
-// stage the request touches is attributed to it), a per-route latency
-// histogram, and one structured log line. 5xx responses log at Warn
-// regardless of the route's base level.
+// a trace id (returned in X-Trace-Id and joined to every flight-recorder
+// event the request causes), a per-request telemetry recorder (carried in
+// the context, so every pipeline stage the request touches is attributed to
+// it), a per-route latency histogram, and one structured log line. 5xx
+// responses log at Warn regardless of the route's base level.
 func (s *Server) instrumented(route string, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.reg.Histogram("http_" + route + "_ms")
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
 		rec := telemetry.NewRecorder()
+		trace := telemetry.NewTraceID()
+		w.Header().Set("X-Trace-Id", trace.String())
+		ctx := telemetry.WithTraceID(telemetry.WithRecorder(r.Context(), rec), trace)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r.WithContext(telemetry.WithRecorder(r.Context(), rec)))
+		h(sw, r.WithContext(ctx))
 		dur := time.Since(start)
 		hist.Observe(dur)
+		// The whole-request envelope span: one top-level slice per request
+		// track in the exported trace (no-op unless a capture is running).
+		telemetry.AddTraceSpan("http_"+route, trace, start, dur)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
@@ -302,6 +320,7 @@ func (s *Server) instrumented(route string, lvl slog.Level, h http.HandlerFunc) 
 		}
 		attrs := []any{
 			slog.Int64("id", id),
+			slog.String("trace", trace.String()),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
@@ -362,8 +381,12 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.shed.Add(1)
+			telemetry.EmitEvent(r.Context(), telemetry.CatServe, telemetry.SevWarn,
+				"load shed: server at capacity",
+				telemetry.Int64("maxInFlight", int64(cap(s.sem))))
 			w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter(0)))
-			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			writeErrorTraced(w, http.StatusTooManyRequests,
+				"server at capacity, retry later", telemetry.TraceIDFrom(r.Context()))
 			return
 		}
 		s.inflight.Add(1)

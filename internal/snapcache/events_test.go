@@ -1,0 +1,113 @@
+package snapcache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leosim/internal/graph"
+	"leosim/internal/telemetry"
+)
+
+// The cache narrates its whole lifecycle into the flight recorder: every
+// build start/failure/success and every breaker transition, each carrying
+// the triggering request's trace ID. Because all events for a build are
+// emitted before its waiters are released, the sequence a caller observes
+// after Get returns is deterministic.
+func TestFlightRecorderNarratesBuildsAndBreaker(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	since := telemetry.LastEventSeq()
+
+	clock := newFakeClock()
+	var fail atomic.Bool
+	fail.Store(true)
+	c := New(func(ctx context.Context, k Key) (*graph.Network, error) {
+		if fail.Load() {
+			return nil, errors.New("backend down")
+		}
+		return tinyNet("ok"), nil
+	}, Options{BreakerThreshold: 2, BreakerCooldown: 10 * time.Second, Clock: clock.Now})
+
+	trace := telemetry.NewTraceID()
+	ctx := telemetry.WithTraceID(context.Background(), trace)
+	for i := 0; i < 2; i++ {
+		c.Get(ctx, keyAt("s", i)) //nolint:errcheck // failures are the point
+	}
+	clock.Advance(11 * time.Second) // past the cooldown: next Get is the probe
+	fail.Store(false)
+	if _, err := c.Get(ctx, keyAt("s", 2)); err != nil {
+		t.Fatalf("probe get: %v", err)
+	}
+
+	evs := telemetry.Events(telemetry.EventFilter{Cat: telemetry.CatAll, Since: since})
+	var got []string
+	for _, e := range evs {
+		got = append(got, e.Cat.String()+"/"+e.Sev.String()+"/"+e.Msg)
+		if e.Trace != trace {
+			t.Errorf("event %q trace = %v, want the request's %v", e.Msg, e.Trace, trace)
+		}
+	}
+	want := []string{
+		"build/info/build start",
+		"build/error/build failed",
+		"build/info/build start",
+		"build/error/build failed",
+		"breaker/error/breaker open: consecutive build failures crossed threshold",
+		"breaker/info/breaker half-open: probe build allowed",
+		"build/info/build start",
+		"build/info/build done",
+		"breaker/info/breaker closed: build succeeded",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("event sequence:\n got %q\nwant %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// A build that exceeds its timeout leaves a warn event for the failed
+// waiters and an info event when the late success is adopted anyway.
+func TestFlightRecorderRecordsTimeoutAndLateAdoption(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	since := telemetry.LastEventSeq()
+
+	release := make(chan struct{})
+	c := New(func(ctx context.Context, k Key) (*graph.Network, error) {
+		<-release
+		return tinyNet("slow"), nil
+	}, Options{BuildTimeout: 10 * time.Millisecond})
+
+	if _, err := c.Get(context.Background(), keyAt("s", 0)); err == nil {
+		t.Fatal("timed-out build returned no error")
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().LateBuilds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late build never adopted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	want := map[string]bool{
+		"build timeout: waiters failed, late result still adoptable": false,
+		"late build adopted after timeout":                           false,
+	}
+	for _, e := range telemetry.Events(telemetry.EventFilter{Cat: telemetry.CatBuild, Since: since}) {
+		if _, ok := want[e.Msg]; ok {
+			want[e.Msg] = true
+		}
+	}
+	for msg, seen := range want {
+		if !seen {
+			t.Errorf("missing event %q", msg)
+		}
+	}
+}

@@ -388,7 +388,7 @@ func TestChaosSeededFailureInjection(t *testing.T) {
 		return tinyNet(k.String()), nil
 	}, Options{
 		TTL: 30 * time.Second, StaleFor: time.Hour,
-		BuildHook: func(k Key) error { return chaos.BuildHook(k.String()) },
+		BuildHook: func(ctx context.Context, k Key) error { return chaos.BuildHook(ctx, k.String()) },
 		Clock:     clock.Now,
 	})
 	ctx := context.Background()

@@ -95,8 +95,10 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// BuildHook, when non-nil, runs at the start of every build (in the
 	// build goroutine). An error or panic fails the build exactly as if
-	// the BuildFunc had failed — the chaos-injection point.
-	BuildHook func(key Key) error
+	// the BuildFunc had failed — the chaos-injection point. The context is
+	// the build's detached context; it still carries the triggering
+	// request's trace ID, so injected faults are joinable to requests.
+	BuildHook func(ctx context.Context, key Key) error
 	// Clock overrides time.Now for TTL/breaker tests.
 	Clock func() time.Time
 }
@@ -206,7 +208,7 @@ type call struct {
 // Cache is the snapshot cache. The zero value is not usable; call New.
 type Cache struct {
 	build        BuildFunc
-	hook         func(Key) error
+	hook         func(context.Context, Key) error
 	cap          int
 	ttl          time.Duration
 	staleFor     time.Duration
@@ -321,7 +323,7 @@ func (c *Cache) GetEx(ctx context.Context, key Key) (*graph.Network, Info, error
 			return nil, Info{}, ctx.Err()
 		}
 	}
-	if allow, retry := c.allowBuildLocked(now); !allow {
+	if allow, retry := c.allowBuildLocked(ctx, now); !allow {
 		c.fastFails.Add(1)
 		c.mu.Unlock()
 		sp.EndAs(telemetry.StageCacheMiss)
@@ -364,7 +366,7 @@ func (c *Cache) revalidateLocked(ctx context.Context, key Key, now time.Time) {
 	if _, busy := c.inflight[key]; busy {
 		return
 	}
-	if allow, _ := c.allowBuildLocked(now); !allow {
+	if allow, _ := c.allowBuildLocked(ctx, now); !allow {
 		return
 	}
 	c.startBuildLocked(ctx, key)
@@ -372,7 +374,7 @@ func (c *Cache) revalidateLocked(ctx context.Context, key Key, now time.Time) {
 
 // allowBuildLocked asks the breaker whether a build may start now. When it
 // may not, the returned duration is the caller-facing Retry-After hint.
-func (c *Cache) allowBuildLocked(now time.Time) (bool, time.Duration) {
+func (c *Cache) allowBuildLocked(ctx context.Context, now time.Time) (bool, time.Duration) {
 	if c.brThreshold <= 0 || !c.brOpen {
 		return true, 0
 	}
@@ -382,15 +384,24 @@ func (c *Cache) allowBuildLocked(now time.Time) (bool, time.Duration) {
 	}
 	if elapsed := now.Sub(c.openedAt); elapsed >= c.brCooldown {
 		c.brProbe = true // this build is the half-open probe
+		telemetry.EmitEvent(ctx, telemetry.CatBreaker, telemetry.SevInfo,
+			"breaker half-open: probe build allowed",
+			telemetry.Int64("streak", c.streak))
 		return true, 0
 	} else {
 		return false, c.brCooldown - elapsed
 	}
 }
 
-// recordBuildLocked feeds one build outcome into the breaker.
-func (c *Cache) recordBuildLocked(err error) {
+// recordBuildLocked feeds one build outcome into the breaker, emitting a
+// flight-recorder event at every state transition.
+func (c *Cache) recordBuildLocked(ctx context.Context, err error) {
 	if err == nil {
+		if c.brOpen {
+			telemetry.EmitEvent(ctx, telemetry.CatBreaker, telemetry.SevInfo,
+				"breaker closed: build succeeded",
+				telemetry.Int64("streak", c.streak))
+		}
 		c.streak = 0
 		c.brOpen, c.brProbe = false, false
 		return
@@ -400,12 +411,19 @@ func (c *Cache) recordBuildLocked(err error) {
 		// The probe failed: stay open, restart the cooldown.
 		c.brProbe = false
 		c.openedAt = c.now()
+		telemetry.EmitEvent(ctx, telemetry.CatBreaker, telemetry.SevWarn,
+			"breaker reopened: probe build failed",
+			telemetry.Int64("streak", c.streak))
 		return
 	}
 	if c.brThreshold > 0 && c.streak >= int64(c.brThreshold) && !c.brOpen {
 		c.brOpen = true
 		c.openedAt = c.now()
 		c.breakerOpens.Add(1)
+		telemetry.EmitEvent(ctx, telemetry.CatBreaker, telemetry.SevError,
+			"breaker open: consecutive build failures crossed threshold",
+			telemetry.Int64("streak", c.streak),
+			telemetry.Int64("cooldownMs", c.brCooldown.Milliseconds()))
 	}
 }
 
@@ -425,9 +443,14 @@ type buildResult struct {
 }
 
 // runBuild executes one build under the hook, panic recovery and the
-// timeout budget, then publishes the outcome.
+// timeout budget, then publishes the outcome. The whole lifecycle lands in
+// the flight recorder; ctx (detached, but value-preserving) carries the
+// triggering request's trace ID into every event.
 func (c *Cache) runBuild(ctx context.Context, key Key, cl *call) {
 	c.builds.Add(1)
+	start := c.now()
+	telemetry.EmitEvent(ctx, telemetry.CatBuild, telemetry.SevInfo,
+		"build start", telemetry.Str("key", key.String()))
 	bctx, cancel := ctx, context.CancelFunc(func() {})
 	if c.buildTimeout > 0 {
 		bctx, cancel = context.WithTimeout(ctx, c.buildTimeout)
@@ -442,7 +465,7 @@ func (c *Cache) runBuild(ctx context.Context, key Key, cl *call) {
 			}
 		}()
 		if c.hook != nil {
-			if err := c.hook(key); err != nil {
+			if err := c.hook(ctx, key); err != nil {
 				resc <- buildResult{err: err}
 				return
 			}
@@ -454,30 +477,47 @@ func (c *Cache) runBuild(ctx context.Context, key Key, cl *call) {
 	case r := <-resc:
 		cancel()
 		cl.n, cl.err = r.n, r.err
+		durMs := c.now().Sub(start).Milliseconds()
+		if cl.err != nil {
+			telemetry.EmitEvent(ctx, telemetry.CatBuild, telemetry.SevError,
+				"build failed",
+				telemetry.Str("key", key.String()),
+				telemetry.Str("err", cl.err.Error()),
+				telemetry.Int64("durMs", durMs))
+		} else {
+			telemetry.EmitEvent(ctx, telemetry.CatBuild, telemetry.SevInfo,
+				"build done",
+				telemetry.Str("key", key.String()),
+				telemetry.Int64("durMs", durMs))
+		}
 	case <-bctx.Done():
 		// Timed out: fail the waiters now, but adopt the result if the
 		// build eventually succeeds anyway — the work is already paid for.
 		c.timeouts.Add(1)
 		cl.err = fmt.Errorf("snapcache: build %s: %w", key, bctx.Err())
+		telemetry.EmitEvent(ctx, telemetry.CatBuild, telemetry.SevWarn,
+			"build timeout: waiters failed, late result still adoptable",
+			telemetry.Str("key", key.String()),
+			telemetry.Int64("timeoutMs", c.buildTimeout.Milliseconds()))
 		gen := cl.gen
 		go func() {
 			defer cancel()
 			if r := <-resc; r.err == nil && r.n != nil {
-				c.adoptLate(key, r.n, gen)
+				c.adoptLate(ctx, key, r.n, gen)
 			}
 		}()
 	}
-	c.finish(key, cl)
+	c.finish(ctx, key, cl)
 }
 
 // finish publishes a completed build: on success the entry enters the LRU
 // (replacing a stale predecessor, evicting the coldest if over capacity);
 // errors are not cached, so the next Get retries. Either way the outcome
 // feeds the breaker.
-func (c *Cache) finish(key Key, cl *call) {
+func (c *Cache) finish(ctx context.Context, key Key, cl *call) {
 	c.mu.Lock()
 	delete(c.inflight, key)
-	c.recordBuildLocked(cl.err)
+	c.recordBuildLocked(ctx, cl.err)
 	if cl.err != nil {
 		c.errors.Add(1)
 	} else if cl.gen == c.gen {
@@ -508,14 +548,20 @@ func (c *Cache) insertLocked(key Key, n *graph.Network) {
 // adoptLate inserts the success of a build whose waiters already saw a
 // timeout, unless a Purge invalidated its generation meanwhile. The late
 // success also counts as one for the breaker: the backend works, slowly.
-func (c *Cache) adoptLate(key Key, n *graph.Network, gen uint64) {
+func (c *Cache) adoptLate(ctx context.Context, key Key, n *graph.Network, gen uint64) {
 	c.mu.Lock()
-	if gen == c.gen {
+	adopted := gen == c.gen
+	if adopted {
 		c.insertLocked(key, n)
 		c.lateBuilds.Add(1)
-		c.recordBuildLocked(nil)
+		c.recordBuildLocked(ctx, nil)
 	}
 	c.mu.Unlock()
+	if adopted {
+		telemetry.EmitEvent(ctx, telemetry.CatBuild, telemetry.SevInfo,
+			"late build adopted after timeout",
+			telemetry.Str("key", key.String()))
+	}
 }
 
 // Put inserts a ready-made network for key without running a build — the
@@ -561,6 +607,15 @@ func (c *Cache) Purge() {
 	c.lru.Init()
 	c.gen++
 	c.mu.Unlock()
+}
+
+// Generation returns the current cache generation — the counter Purge bumps
+// to invalidate in-flight builds. Health endpoints surface it so operators
+// can tell "same cache since boot" from "purged N times".
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // Breaker snapshots the circuit breaker's state.

@@ -38,6 +38,31 @@ func BenchmarkSpanEnabledWithRecorder(b *testing.B) {
 	}
 }
 
+// The disabled event path shares the span contract: one atomic load, no
+// allocation — emitters stay in the serve and build hot paths unconditionally.
+func BenchmarkEventDisabled(b *testing.B) {
+	Disable()
+	key := Str("key", "bp@snap0")
+	dur := Int64("durMs", 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EmitEvent(nil, CatBuild, SevInfo, "build done", key, dur)
+	}
+}
+
+// Enabled, an emit copies one fixed-size Event into the preallocated ring
+// under a mutex: O(1), no per-event heap allocation.
+func BenchmarkEventEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	key := Str("key", "bp@snap0")
+	dur := Int64("durMs", 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EmitEvent(nil, CatBuild, SevInfo, "build done", key, dur)
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := &Histogram{}
 	b.ReportAllocs()

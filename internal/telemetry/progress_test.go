@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Progress deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func lines(buf *bytes.Buffer) []string {
+	s := strings.TrimSpace(buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func newFakeProgress(buf *bytes.Buffer, label string, total int, clk *fakeClock) *Progress {
+	p := NewProgress(buf, label, total)
+	p.now = clk.now
+	p.start = clk.t
+	return p
+}
+
+// Steps inside the one-second throttle window stay silent; a step after the
+// window emits one line; the final step always emits.
+func TestProgressCadence(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	p := newFakeProgress(&buf, "fig2a", 10, clk)
+
+	p.Step(1) // lastEmit is zero time → first step emits
+	if got := lines(&buf); len(got) != 1 || !strings.HasPrefix(got[0], "fig2a 1/10 (10%)") {
+		t.Fatalf("first step: %q", got)
+	}
+	clk.advance(300 * time.Millisecond)
+	p.Step(1)
+	clk.advance(300 * time.Millisecond)
+	p.Step(1)
+	if got := lines(&buf); len(got) != 1 {
+		t.Fatalf("throttled steps emitted: %q", got)
+	}
+	clk.advance(time.Second)
+	p.Step(1)
+	got := lines(&buf)
+	if len(got) != 2 {
+		t.Fatalf("step after interval did not emit: %q", got)
+	}
+	if !strings.HasPrefix(got[1], "fig2a 4/10 (40%)") || !strings.Contains(got[1], "eta") {
+		t.Errorf("progress line = %q, want count 4/10 with an eta", got[1])
+	}
+
+	clk.advance(10 * time.Millisecond)
+	p.Step(6) // reaches total inside the throttle window — must still emit
+	got = lines(&buf)
+	if len(got) != 3 || !strings.HasPrefix(got[2], "fig2a 10/10 (100%)") {
+		t.Fatalf("final step: %q", got)
+	}
+	if strings.Contains(got[2], "eta") {
+		t.Errorf("final line carries an eta: %q", got[2])
+	}
+
+	// Finish after the final step already emitted must not duplicate it.
+	p.Finish()
+	if got := lines(&buf); len(got) != 3 {
+		t.Errorf("Finish after completion re-emitted: %q", got)
+	}
+}
+
+// Finish on a partial run flushes one final line even inside the throttle
+// window — a crash-interrupted sweep still reports where it stopped.
+func TestProgressFinishFlushesPartial(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	p := newFakeProgress(&buf, "sweep", 100, clk)
+	p.Step(1)
+	clk.advance(100 * time.Millisecond)
+	p.Step(41)
+	if got := lines(&buf); len(got) != 1 {
+		t.Fatalf("throttled step emitted: %q", got)
+	}
+	p.Finish()
+	got := lines(&buf)
+	if len(got) != 2 || !strings.HasPrefix(got[1], "sweep 42/100 (42%)") {
+		t.Fatalf("Finish did not flush the partial count: %q", got)
+	}
+}
+
+// Step must clamp over-counted totals rather than report 11/10.
+func TestProgressClampsOvershoot(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	p := newFakeProgress(&buf, "x", 10, clk)
+	p.Step(15)
+	got := lines(&buf)
+	if len(got) != 1 || !strings.HasPrefix(got[0], "x 10/10 (100%)") {
+		t.Fatalf("overshoot: %q", got)
+	}
+}
+
+// A nil writer (or nonsense total) disables the reporter entirely: NewProgress
+// returns nil and every method on a nil *Progress is a safe no-op.
+func TestProgressQuietSuppression(t *testing.T) {
+	if p := NewProgress(nil, "quiet", 10); p != nil {
+		t.Fatalf("NewProgress(nil writer) = %v, want nil", p)
+	}
+	var buf bytes.Buffer
+	if p := NewProgress(&buf, "empty", 0); p != nil {
+		t.Fatalf("NewProgress(total=0) = %v, want nil", p)
+	}
+	var p *Progress
+	p.Step(3) // must not panic
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Errorf("nil progress wrote %q", buf.String())
+	}
+}

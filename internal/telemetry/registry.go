@@ -46,21 +46,33 @@ type Registry struct {
 
 	// stages is indexed by Stage — the span fast path does no map lookup.
 	stages [NumStages]*Histogram
+
+	// events is the flight recorder: a fixed ring of structured events
+	// (build failures, breaker transitions, degraded serves, …).
+	events *EventRing
+	// tracer, when non-nil, is the running trace capture; spans under a
+	// traced context are routed into it.
+	tracer atomic.Pointer[Tracer]
 }
 
-// NewRegistry returns an empty registry with all stage histograms ready.
+// NewRegistry returns an empty registry with all stage histograms and the
+// flight-recorder ring ready.
 func NewRegistry() *Registry {
 	r := &Registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		gaugeFuncs: map[string]func() int64{},
 		hists:      map[string]*Histogram{},
+		events:     newEventRing(DefaultEventCapacity),
 	}
 	for i := range r.stages {
 		r.stages[i] = &Histogram{}
 	}
 	return r
 }
+
+// EventRing returns the registry's flight recorder.
+func (r *Registry) EventRing() *EventRing { return r.events }
 
 // Counter returns (registering on first use) the named counter.
 func (r *Registry) Counter(name string) *Counter {

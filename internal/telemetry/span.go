@@ -66,7 +66,10 @@ type Span struct {
 	rec    *Recorder
 	stage  Stage
 	toHist bool
-	start  time.Time
+	// trace routes the completed span into the running trace capture; zero
+	// (no capture running, or no trace ID on the context) skips the tracer.
+	trace TraceID
+	start time.Time
 }
 
 // StartStageSpan opens a span that records only into the active registry's
@@ -85,10 +88,15 @@ func StartStageSpan(stage Stage) Span {
 // is observed exactly once per execution and a context is at hand (the
 // snapshot cache).
 func StartSpan(ctx context.Context, stage Stage) Span {
-	if active.Load() == nil {
+	reg := active.Load()
+	if reg == nil {
 		return Span{}
 	}
-	return Span{rec: FromContext(ctx), stage: stage, toHist: true, start: time.Now()}
+	sp := Span{rec: FromContext(ctx), stage: stage, toHist: true, start: time.Now()}
+	if reg.tracer.Load() != nil {
+		sp.trace = TraceIDFrom(ctx)
+	}
+	return sp
 }
 
 // RecordSpan opens a span that records only into the Recorder carried by
@@ -96,14 +104,20 @@ func StartSpan(ctx context.Context, stage Stage) Span {
 // calls into packages that already feed the registry histograms themselves,
 // so wrapping never double-counts /metrics.
 func RecordSpan(ctx context.Context, stage Stage) Span {
-	if active.Load() == nil {
+	reg := active.Load()
+	if reg == nil {
 		return Span{}
 	}
 	rec := FromContext(ctx)
-	if rec == nil {
+	traced := reg.tracer.Load() != nil
+	if rec == nil && !traced {
 		return Span{}
 	}
-	return Span{rec: rec, stage: stage, start: time.Now()}
+	sp := Span{rec: rec, stage: stage, start: time.Now()}
+	if traced {
+		sp.trace = TraceIDFrom(ctx)
+	}
+	return sp
 }
 
 // End finishes the span under the stage it was started with.
@@ -113,7 +127,7 @@ func (sp Span) End() { sp.EndAs(sp.stage) }
 // started with — for call sites that learn the outcome only at the end
 // (cache hit vs miss vs singleflight wait).
 func (sp Span) EndAs(stage Stage) {
-	if !sp.toHist && sp.rec == nil {
+	if !sp.toHist && sp.rec == nil && sp.trace == 0 {
 		return
 	}
 	d := time.Since(sp.start)
@@ -124,6 +138,9 @@ func (sp Span) EndAs(stage Stage) {
 	}
 	if sp.rec != nil {
 		sp.rec.observe(stage, d)
+	}
+	if sp.trace != 0 {
+		AddTraceSpan(stage.String(), sp.trace, sp.start, d)
 	}
 }
 

@@ -14,7 +14,7 @@
 // fixed arrays of atomic counters, and the Recorder is a fixed array indexed
 // by Stage.
 //
-// Three collection surfaces compose:
+// Collection surfaces compose:
 //
 //   - The process-global active Registry (Enable/Disable) receives per-stage
 //     latency histograms from the packages that own each stage — the graph
@@ -29,6 +29,16 @@
 //     partition of the run.
 //   - A Progress reporter turns per-snapshot steps of a long sweep into
 //     rate-limited progress/ETA lines.
+//   - A flight recorder (EmitEvent / Events / DumpEvents): a fixed ring of
+//     structured events — build failures, breaker transitions, degraded
+//     serves, chaos injections — served at /debug/events and dumped to
+//     stderr on panic or SIGQUIT, so "what happened, in what order" is
+//     answerable after the fact.
+//   - Per-request tracing (TraceID / StartTracing): spans under a traced
+//     context export as Chrome trace_event JSON, one track per request or
+//     batch snapshot, viewable in Perfetto.
+//   - Prometheus text exposition (Registry.WritePrometheus), so the same
+//     registry scrapes into standard dashboards.
 package telemetry
 
 import (

@@ -401,7 +401,29 @@ var (
 	// WriteJSONStages is WriteJSONPartial plus the recorder's stage-time
 	// breakdown in the envelope ("stage_times").
 	WriteJSONStages = core.WriteJSONStages
+	// StartTracing begins the process's exclusive bounded span-trace capture
+	// (requires EnableTelemetry); StopTracing ends it and returns the
+	// capture, whose WriteChrome exports Chrome trace_event JSON viewable in
+	// Perfetto. Each batch snapshot gets its own track.
+	StartTracing = telemetry.StartTracing
+	StopTracing  = telemetry.StopTracing
+	// DumpTelemetryEvents writes the flight recorder's retained events (build
+	// failures, breaker transitions, degraded serves, chaos injections) to w —
+	// the post-mortem view the CLI wires to panics and SIGQUIT.
+	DumpTelemetryEvents = telemetry.DumpEvents
 )
+
+// DefaultTraceCapacity bounds a span-trace capture started by StartTracing.
+const DefaultTraceCapacity = telemetry.DefaultTraceCapacity
+
+// EmitJournalReplayEvent records a whole-experiment journal replay (stored
+// output re-emitted instead of recomputed) in the flight recorder.
+func EmitJournalReplayEvent(experiment string, outputBytes int) {
+	telemetry.EmitEvent(nil, telemetry.CatJournal, telemetry.SevInfo,
+		"journal replay: experiment output re-emitted from journal",
+		telemetry.Str("experiment", experiment),
+		telemetry.Int64("outputBytes", int64(outputBytes)))
+}
 
 // Journal is the crash-safe run journal: per-experiment, per-snapshot
 // completion records in a JSONL sidecar, written atomically.

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Run a benchmark suite and record it in its trajectory JSON file.
 #
-# usage: scripts/bench.sh [routing|snapshot|topo|all] [label]
+# usage: scripts/bench.sh [routing|snapshot|topo|telemetry|all] [label]
 #
 # Targets:
 #   routing   — the routing hot path (Dijkstra, ShortestPath, KDisjointPaths,
@@ -12,6 +12,11 @@
 #   topo      — ISL motif construction cost at Starlink scale (one build per
 #               motif, including the demand optimizer's greedy placement)
 #               → BENCH_topo.json
+#   telemetry — the observability cost model: span and event emission with
+#               telemetry disabled (one atomic load, no allocation) and
+#               enabled, plus the routing kernel with and without telemetry;
+#               BenchmarkSearch must stay within noise of the kernel
+#               baselines in BENCH_routing.json → BENCH_telemetry.json
 #   all       — all of the above (default)
 #
 # The label names the run inside the trajectory file (default "current");
@@ -53,17 +58,26 @@ run_topo() {
 		go run ./scripts/benchjson -label "$LABEL" -out BENCH_topo.json
 }
 
+run_telemetry() {
+	PATTERN='^(BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkSpanEnabledWithRecorder|BenchmarkHistogramObserve|BenchmarkEventDisabled|BenchmarkEventEnabled|BenchmarkSearch|BenchmarkSearchTelemetryEnabled)$'
+	go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
+		./internal/telemetry ./internal/graph |
+		go run ./scripts/benchjson -label "$LABEL" -out BENCH_telemetry.json
+}
+
 case "$TARGET" in
 routing) run_routing ;;
 snapshot) run_snapshot ;;
 topo) run_topo ;;
+telemetry) run_telemetry ;;
 all)
 	run_routing
 	run_snapshot
 	run_topo
+	run_telemetry
 	;;
 *)
-	echo "usage: scripts/bench.sh [routing|snapshot|topo|all] [label]" >&2
+	echo "usage: scripts/bench.sh [routing|snapshot|topo|telemetry|all] [label]" >&2
 	exit 2
 	;;
 esac
