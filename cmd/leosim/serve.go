@@ -45,6 +45,8 @@ func runServe(ctx context.Context, args []string) error {
 	cities := fs.Int("cities", 0, "override the number of cities (0 = scale default)")
 	cacheSize := fs.Int("cache-size", 0, "snapshot cache capacity in graphs (0 = snapshots+4, or 2×snapshots+8 with -prime)")
 	prime := fs.Bool("prime", false, "prime the snapshot cache in the background at startup: walk the day incrementally and deposit every snapshot for both modes")
+	oracleOn := fs.Bool("oracle", false, "with -prime, also build a distance oracle per primed snapshot so /v1/paths batches start warm")
+	oracleLandmarks := fs.Int("oracle-landmarks", 0, "ALT landmarks per oracle (0 = default 8)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "snapshot cache entry TTL (0 = never expire)")
 	staleFor := fs.Duration("cache-stale-for", 0, "serve expired snapshots (marked stale) this long past TTL while rebuilding in the background")
 	buildTimeout := fs.Duration("build-timeout", 0, "per-snapshot build deadline (0 = unbounded)")
@@ -61,7 +63,7 @@ func runServe(ctx context.Context, args []string) error {
 	logFormat := fs.String("log-format", "text", "request log format: text|json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz\n           /metrics (JSON; ?format=prometheus for text exposition)\n           /debug/events (flight recorder) /debug/trace (Perfetto span capture)\n\nflags:\n")
+		fmt.Fprintf(fs.Output(), "usage: leosim serve [flags]\n\nendpoints: /v1/path /v1/latency /v1/reachability /v1/snapshots /healthz\n           POST /v1/paths (batched multi-pair queries, oracle-served)\n           /metrics (JSON; ?format=prometheus for text exposition)\n           /debug/events (flight recorder) /debug/trace (Perfetto span capture)\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +113,8 @@ func runServe(ctx context.Context, args []string) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		PrimeSnapshots:   *prime,
+		PrimeOracles:     *oracleOn,
+		OracleLandmarks:  *oracleLandmarks,
 		Chaos:            chaos,
 		MaxInFlight:      *maxInFlight,
 		RequestTimeout:   *reqTimeout,

@@ -95,6 +95,15 @@ func (s *Sim) PathAt(ctx context.Context, n *graph.Network, src, dst int) (*Path
 	if !ok {
 		return &PathQuery{}, nil
 	}
+	return PathQueryOf(n, p), nil
+}
+
+// PathQueryOf converts a found path over n into the serving PathQuery
+// envelope: RTT, hop count, the named route, and the per-kind relay hop
+// breakdown. It is the single classification step behind PathAt and the
+// oracle-served batch path endpoint, so both produce identical envelopes
+// for identical paths.
+func PathQueryOf(n *graph.Network, p graph.Path) *PathQuery {
 	q := &PathQuery{
 		Reachable: true,
 		RTTMs:     p.RTTMs(),
@@ -116,7 +125,7 @@ func (s *Sim) PathAt(ctx context.Context, n *graph.Network, src, dst int) (*Path
 			q.CityHops++
 		}
 	}
-	return q, nil
+	return q
 }
 
 // ReachabilityQuery summarizes one snapshot's connectivity.

@@ -426,6 +426,16 @@ func (n *Network) MultiSourceDistances(sources []int32) [][]float64 {
 	return out
 }
 
+// WalkPath reconstructs the node/link sequence from dst back to src given a
+// predecessor-link lookup and the already-known total delay. It is the
+// exported form of the back-walk every in-package path extraction uses, for
+// callers (the distance-oracle layer) that hold predecessor trees outside a
+// SearchState. prevAt must return the predecessor link of a node as the
+// kernel recorded it, or a negative value where no predecessor exists.
+func (n *Network) WalkPath(src, dst int32, prevAt func(int32) int32, total float64) (Path, bool) {
+	return n.walkPath(src, dst, prevAt, total)
+}
+
 // Components labels connected components (ignoring capacities) and returns
 // the component ID per node and the component count.
 func (n *Network) Components() (comp []int32, count int) {

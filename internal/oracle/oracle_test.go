@@ -1,0 +1,391 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"leosim/internal/core"
+	"leosim/internal/fault"
+	"leosim/internal/graph"
+	"leosim/internal/topo"
+)
+
+// Sims are cached per (motif, scale): constellation construction dominates
+// test time, and every test only reads the sim.
+var (
+	simMu   sync.Mutex
+	simPool = map[string]*core.Sim{}
+)
+
+func motifSim(t testing.TB, id topo.ID, scale core.Scale, scaleName string) *core.Sim {
+	t.Helper()
+	key := string(id) + "/" + scaleName
+	simMu.Lock()
+	defer simMu.Unlock()
+	if s, ok := simPool[key]; ok {
+		return s
+	}
+	s, err := core.NewSim(core.Starlink, scale, core.WithMotifID(id))
+	if err != nil {
+		t.Fatalf("NewSim(%s): %v", id, err)
+	}
+	simPool[key] = s
+	return s
+}
+
+// outagesFor realizes a "scenario:fraction:seed" fault fingerprint against
+// sim — the same deterministic realization the serving layer uses.
+func outagesFor(t testing.TB, s *core.Sim, mask string) *fault.Outages {
+	t.Helper()
+	if mask == "" {
+		return nil
+	}
+	parts := strings.Split(mask, ":")
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.ForScenario(fault.Scenario(parts[0]), frac, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Realize(s.Const, len(s.Seg.Terminals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func buildNet(t testing.TB, s *core.Sim, mode core.Mode, mask string) *graph.Network {
+	t.Helper()
+	n, err := s.BuildNetworkAt(context.Background(), s.SnapshotTimes()[0], mode, outagesFor(t, s, mask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func buildOracle(t testing.TB, n *graph.Network, landmarks int) *Oracle {
+	t.Helper()
+	o, err := Build(context.Background(), n, Options{Landmarks: landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// kernelTree runs the reference full Dijkstra from city src — the exact
+// computation the oracle's label row for src froze at build time.
+func kernelTree(n *graph.Network, src int) *graph.SearchState {
+	st := graph.AcquireSearch()
+	n.Search(st, graph.SearchSpec{Src: n.CityNode(src), Target: graph.NoTarget})
+	return st
+}
+
+// samePath requires byte-identical paths: same nodes, same links, same
+// accumulated delay — the tie-break-exact guarantee Query documents.
+func samePath(t *testing.T, label string, want, got graph.Path) {
+	t.Helper()
+	if want.OneWayMs != got.OneWayMs {
+		t.Fatalf("%s: delay %v != kernel %v", label, got.OneWayMs, want.OneWayMs)
+	}
+	if len(want.Nodes) != len(got.Nodes) || len(want.Links) != len(got.Links) {
+		t.Fatalf("%s: shape (%d nodes, %d links) != kernel (%d nodes, %d links)",
+			label, len(got.Nodes), len(got.Links), len(want.Nodes), len(want.Links))
+	}
+	for i := range want.Nodes {
+		if want.Nodes[i] != got.Nodes[i] {
+			t.Fatalf("%s: node[%d] = %d != kernel %d", label, i, got.Nodes[i], want.Nodes[i])
+		}
+	}
+	for i := range want.Links {
+		if want.Links[i] != got.Links[i] {
+			t.Fatalf("%s: link[%d] = %d != kernel %d", label, i, got.Links[i], want.Links[i])
+		}
+	}
+}
+
+// diffBattery runs the differential check for one built network: seeded
+// random city pairs, oracle answers vs the live kernel, distances exact and
+// paths byte-identical.
+func diffBattery(t *testing.T, n *graph.Network, pairs int, seed int64) {
+	o := buildOracle(t, n, 4)
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < pairs; k++ {
+		src := rng.Intn(n.NumCity)
+		dst := rng.Intn(n.NumCity)
+		if src == dst {
+			continue
+		}
+		label := fmt.Sprintf("pair %d→%d", src, dst)
+		st := kernelTree(n, src)
+		want, reachable := st.Path(n.CityNode(dst))
+		got, ok := o.Query(src, dst)
+		if ok != reachable {
+			t.Fatalf("%s: oracle reachable=%v, kernel says %v", label, ok, reachable)
+		}
+		if !reachable {
+			if !math.IsInf(o.DistMs(src, dst), 1) {
+				t.Fatalf("%s: disconnected pair has finite DistMs %v", label, o.DistMs(src, dst))
+			}
+			st.Release()
+			continue
+		}
+		if d := o.DistMs(src, dst); d != want.OneWayMs {
+			t.Fatalf("%s: DistMs %v != kernel %v", label, d, want.OneWayMs)
+		}
+		samePath(t, label, want, got)
+		st.Release()
+	}
+}
+
+// TestOracleMatchesKernel is the core differential battery: every motif,
+// both modes, fault masks including nonzero ones, tiny preset always and the
+// reduced preset when not -short. Distances must be bit-identical and paths
+// byte-identical to the live Dijkstra kernel.
+func TestOracleMatchesKernel(t *testing.T) {
+	masks := []string{"", "sat:0.1:1", "isl:0.2:2"}
+	for _, id := range topo.IDs() {
+		sim := motifSim(t, id, core.TinyScale(), "tiny")
+		for _, mode := range []core.Mode{core.BP, core.Hybrid} {
+			for mi, mask := range masks {
+				name := fmt.Sprintf("%s/%s/mask=%s", id, mode, mask)
+				t.Run(name, func(t *testing.T) {
+					n := buildNet(t, sim, mode, mask)
+					diffBattery(t, n, 30, int64(mi+1))
+				})
+			}
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	// Reduced preset: one motif is enough to exercise the larger graph —
+	// the per-motif structure is covered above.
+	sim := motifSim(t, topo.PlusGrid, core.ReducedScale(), "reduced")
+	for _, mode := range []core.Mode{core.BP, core.Hybrid} {
+		t.Run(fmt.Sprintf("reduced/%s", mode), func(t *testing.T) {
+			n := buildNet(t, sim, mode, "sat:0.1:1")
+			diffBattery(t, n, 20, 7)
+		})
+	}
+}
+
+// TestLandmarkBoundAdmissible property-tests the ALT triangle inequality:
+// Bound(u,v) never exceeds the true shortest-path delay, and a +Inf bound
+// only appears for genuinely disconnected pairs.
+func TestLandmarkBoundAdmissible(t *testing.T) {
+	sim := motifSim(t, topo.PlusGrid, core.TinyScale(), "tiny")
+	n := buildNet(t, sim, core.BP, "sat:0.2:3")
+	o := buildOracle(t, n, 6)
+	rng := rand.New(rand.NewSource(11))
+	// Float rounding in the label sums can push |d(l,u)-d(l,v)| a few ulps
+	// past the true distance; admissibility holds to this tolerance.
+	const relTol = 1e-9
+	for k := 0; k < 200; k++ {
+		u := int32(rng.Intn(n.N()))
+		v := int32(rng.Intn(n.N()))
+		bound := o.Bound(u, v)
+		st := graph.AcquireSearch()
+		n.Search(st, graph.SearchSpec{Src: u, Target: graph.NoTarget})
+		if !st.Reached(v) {
+			st.Release()
+			continue // unreachable: any bound (including +Inf) is admissible
+		}
+		d := st.Dist(v)
+		st.Release()
+		if math.IsInf(bound, 1) {
+			t.Fatalf("Bound(%d,%d) = +Inf but kernel reaches v at %v ms", u, v, d)
+		}
+		if bound > d*(1+relTol)+relTol {
+			t.Fatalf("Bound(%d,%d) = %v exceeds true distance %v", u, v, bound, d)
+		}
+	}
+}
+
+// TestLabelSymmetry property-tests the undirected graph invariant: the
+// delay labelled src→dst equals dst→src (to float-accumulation-order
+// tolerance — the two trees sum the same path in opposite directions).
+func TestLabelSymmetry(t *testing.T) {
+	sim := motifSim(t, topo.PlusGrid, core.TinyScale(), "tiny")
+	n := buildNet(t, sim, core.Hybrid, "")
+	o := buildOracle(t, n, 4)
+	for src := 0; src < n.NumCity; src++ {
+		for dst := src + 1; dst < n.NumCity; dst++ {
+			a, b := o.DistMs(src, dst), o.DistMs(dst, src)
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("pair %d,%d: reachability asymmetric (%v vs %v)", src, dst, a, b)
+			}
+			if math.IsInf(a, 1) {
+				continue
+			}
+			if diff := math.Abs(a - b); diff > 1e-9*(1+math.Abs(a)) {
+				t.Fatalf("pair %d,%d: %v != %v (diff %v)", src, dst, a, b, diff)
+			}
+		}
+	}
+}
+
+// TestMaskMonotonic property-tests fault monotonicity: removing links can
+// only lengthen (or disconnect) city-pair distances, never shorten them.
+func TestMaskMonotonic(t *testing.T) {
+	sim := motifSim(t, topo.PlusGrid, core.TinyScale(), "tiny")
+	clean := buildOracle(t, buildNet(t, sim, core.BP, ""), 4)
+	masked := buildOracle(t, buildNet(t, sim, core.BP, "sat:0.3:5"), 4)
+	for src := 0; src < clean.Sources(); src++ {
+		for dst := 0; dst < clean.Sources(); dst++ {
+			if src == dst {
+				continue
+			}
+			dc, dm := clean.DistMs(src, dst), masked.DistMs(src, dst)
+			if dm < dc-1e-9*(1+dc) {
+				t.Fatalf("pair %d→%d: masked distance %v shorter than clean %v", src, dst, dm, dc)
+			}
+		}
+	}
+}
+
+// TestPathBetweenMatchesKernel checks the ALT-guided A* escape hatch on
+// arbitrary node pairs: distance-exact against the kernel (tie-broken paths
+// may differ; the delay may not).
+func TestPathBetweenMatchesKernel(t *testing.T) {
+	sim := motifSim(t, topo.Nearest, core.TinyScale(), "tiny")
+	n := buildNet(t, sim, core.BP, "sat:0.1:1")
+	o := buildOracle(t, n, 6)
+	rng := rand.New(rand.NewSource(23))
+	for k := 0; k < 60; k++ {
+		u := int32(rng.Intn(n.N()))
+		v := int32(rng.Intn(n.N()))
+		if u == v {
+			continue
+		}
+		st := graph.AcquireSearch()
+		n.Search(st, graph.SearchSpec{Src: u, Target: graph.NoTarget})
+		reached := st.Reached(v)
+		var want float64
+		if reached {
+			want = st.Dist(v)
+		}
+		st.Release()
+		p, ok := o.PathBetween(u, v)
+		if ok != reached {
+			t.Fatalf("pair %d→%d: A* reachable=%v, kernel says %v", u, v, ok, reached)
+		}
+		if !reached {
+			continue
+		}
+		if diff := math.Abs(p.OneWayMs - want); diff > 1e-9*(1+want) {
+			t.Fatalf("pair %d→%d: A* delay %v != kernel %v", u, v, p.OneWayMs, want)
+		}
+		// The path must really exist and really cost what it claims.
+		var sum float64
+		for _, l := range p.Links {
+			sum += n.Links[l].OneWayMs
+		}
+		if math.Abs(sum-p.OneWayMs) > 1e-9*(1+sum) {
+			t.Fatalf("pair %d→%d: path links sum to %v, path claims %v", u, v, sum, p.OneWayMs)
+		}
+	}
+}
+
+// TestBuildValidity pins the lifecycle contract: an oracle is valid only for
+// the exact network instance it was built from.
+func TestBuildValidity(t *testing.T) {
+	sim := motifSim(t, topo.PlusGrid, core.TinyScale(), "tiny")
+	n1 := buildNet(t, sim, core.BP, "")
+	n2 := buildNet(t, sim, core.BP, "")
+	o := buildOracle(t, n1, 2)
+	if !o.Valid(n1) {
+		t.Fatal("oracle invalid for its own network")
+	}
+	if o.Valid(n2) {
+		t.Fatal("oracle valid for a different network instance")
+	}
+	st := o.Stats()
+	if st.Sources != n1.NumCity || st.Nodes != n1.N() {
+		t.Fatalf("stats %+v disagree with network (%d cities, %d nodes)", st, n1.NumCity, n1.N())
+	}
+	if st.Landmarks != 2 || len(o.Landmarks()) != 2 {
+		t.Fatalf("want 2 landmarks, got stats=%d method=%d", st.Landmarks, len(o.Landmarks()))
+	}
+	if st.Bytes <= 0 || st.BuildDuration <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+}
+
+// TestBuildCancelled pins cancellation: a dead context yields an error, not
+// a partial oracle.
+func TestBuildCancelled(t *testing.T) {
+	sim := motifSim(t, topo.PlusGrid, core.TinyScale(), "tiny")
+	n := buildNet(t, sim, core.BP, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if o, err := Build(ctx, n, Options{}); err == nil || o != nil {
+		t.Fatalf("cancelled build returned (%v, %v), want error", o, err)
+	}
+}
+
+func benchOracle(b *testing.B) (*graph.Network, *Oracle) {
+	sim := motifSim(b, topo.PlusGrid, core.TinyScale(), "tiny")
+	n := buildNet(b, sim, core.BP, "")
+	return n, buildOracle(b, n, DefaultLandmarks)
+}
+
+// BenchmarkOracleBuild measures the one-time per-snapshot build cost the
+// serving layer amortizes (reported alongside query latency in bench.sh).
+func BenchmarkOracleBuild(b *testing.B) {
+	sim := motifSim(b, topo.PlusGrid, core.TinyScale(), "tiny")
+	n := buildNet(b, sim, core.BP, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(context.Background(), n, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleQuery measures the pure distance lookup — one array read.
+func BenchmarkOracleQuery(b *testing.B) {
+	_, o := benchOracle(b)
+	ncity := o.Sources()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += o.DistMs(i%ncity, (i*7+1)%ncity)
+	}
+	_ = sink
+}
+
+// BenchmarkOracleBatch measures the full batched serving unit of work: path
+// reconstruction from the stored tree for a stream of Zipf-ish repeating
+// pairs — the per-pair cost behind POST /v1/paths (the p99 < 100µs
+// acceptance bar).
+func BenchmarkOracleBatch(b *testing.B) {
+	_, o := benchOracle(b)
+	ncity := o.Sources()
+	rng := rand.New(rand.NewSource(1))
+	type pair struct{ src, dst int }
+	pairs := make([]pair, 1024)
+	for i := range pairs {
+		s, d := rng.Intn(ncity), rng.Intn(ncity)
+		if s == d {
+			d = (d + 1) % ncity
+		}
+		pairs[i] = pair{s, d}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		o.Query(p.src, p.dst)
+	}
+}

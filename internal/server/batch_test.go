@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leosim/internal/core"
+	"leosim/internal/oracle"
+)
+
+func postJSON(t *testing.T, h http.Handler, url string, body []byte, out interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", url, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+type batchRespJSON struct {
+	Mode   string `json:"mode"`
+	Count  int    `json:"count"`
+	Oracle struct {
+		Cached    bool    `json:"cached"`
+		BuildMs   float64 `json:"buildMs"`
+		Sources   int     `json:"sources"`
+		Landmarks int     `json:"landmarks"`
+	} `json:"oracle"`
+	Results []struct {
+		Src       string   `json:"src"`
+		Dst       string   `json:"dst"`
+		Reachable bool     `json:"reachable"`
+		RTTMs     float64  `json:"rttMs"`
+		OneWayMs  float64  `json:"oneWayMs"`
+		Hops      int      `json:"hops"`
+		Route     []string `json:"route"`
+	} `json:"results"`
+}
+
+// TestBatchPathsMatchesSingle is the serving-level differential: every entry
+// of a POST /v1/paths batch must equal the corresponding GET /v1/path answer
+// — RTT, hops, and the full named route — for both modes.
+func TestBatchPathsMatchesSingle(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 5}}
+	for _, mode := range []string{"bp", "hybrid"} {
+		body := map[string]interface{}{
+			"mode": mode, "snap": 1, "includeRoutes": true,
+			"pairs": []map[string]string{},
+		}
+		bp := body["pairs"].([]map[string]string)
+		for _, p := range pairs {
+			bp = append(bp, map[string]string{"src": sim.CityName(p[0]), "dst": sim.CityName(p[1])})
+		}
+		body["pairs"] = bp
+		payload, _ := json.Marshal(body)
+		var batch batchRespJSON
+		if rec := postJSON(t, s.Handler(), "/v1/paths", payload, &batch); rec.Code != http.StatusOK {
+			t.Fatalf("POST /v1/paths (%s): %d\n%s", mode, rec.Code, rec.Body.String())
+		}
+		if batch.Count != len(pairs) || len(batch.Results) != len(pairs) {
+			t.Fatalf("batch answered %d/%d pairs", len(batch.Results), len(pairs))
+		}
+		if batch.Oracle.Sources != sim.NumCities() {
+			t.Fatalf("oracle labelled %d sources, want %d", batch.Oracle.Sources, sim.NumCities())
+		}
+		for i, p := range pairs {
+			var single struct {
+				Path struct {
+					Reachable bool     `json:"reachable"`
+					RTTMs     float64  `json:"rttMs"`
+					Hops      int      `json:"hops"`
+					Route     []string `json:"route"`
+				} `json:"path"`
+			}
+			url := q("/v1/path", "src", sim.CityName(p[0]), "dst", sim.CityName(p[1]), "mode", mode, "snap", "1")
+			if rec := getJSON(t, s.Handler(), url, &single); rec.Code != http.StatusOK {
+				t.Fatalf("GET %s: %d", url, rec.Code)
+			}
+			got := batch.Results[i]
+			if got.Reachable != single.Path.Reachable {
+				t.Fatalf("pair %d (%s): batch reachable=%v, single=%v", i, mode, got.Reachable, single.Path.Reachable)
+			}
+			if !got.Reachable {
+				continue
+			}
+			if got.RTTMs != single.Path.RTTMs || got.Hops != single.Path.Hops {
+				t.Fatalf("pair %d (%s): batch (%.6f ms, %d hops) != single (%.6f ms, %d hops)",
+					i, mode, got.RTTMs, got.Hops, single.Path.RTTMs, single.Path.Hops)
+			}
+			if strings.Join(got.Route, "|") != strings.Join(single.Path.Route, "|") {
+				t.Fatalf("pair %d (%s): batch route %v != single route %v", i, mode, got.Route, single.Path.Route)
+			}
+		}
+	}
+}
+
+// TestBatchPathsValidation pins every rejection class the decoder and
+// handler promise: 400s for malformed bodies, 404 for unknown cities, and
+// clean answers never panic out of the handler.
+func TestBatchPathsValidation(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	pair := func(a, b int) string {
+		return fmt.Sprintf(`{"src":%q,"dst":%q}`, sim.CityName(a), sim.CityName(b))
+	}
+	manyPairs := make([]string, MaxBatchPairs+1)
+	for i := range manyPairs {
+		manyPairs[i] = pair(0, 1) // duplicates, but the limit check fires first
+	}
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"pairs":[`, http.StatusBadRequest},
+		{"unknown field", `{"pears":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"trailing data", `{"pairs":[` + pair(0, 1) + `]}{}`, http.StatusBadRequest},
+		{"empty pairs", `{"pairs":[]}`, http.StatusBadRequest},
+		{"missing pairs", `{"mode":"bp"}`, http.StatusBadRequest},
+		{"duplicate pair", `{"pairs":[` + pair(0, 1) + `,` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"src equals dst", `{"pairs":[` + pair(2, 2) + `]}`, http.StatusBadRequest},
+		{"empty src", `{"pairs":[{"src":"","dst":"Tokyo"}]}`, http.StatusBadRequest},
+		{"bad mode", `{"mode":"warp","pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"snap and t", `{"snap":0,"t":"90m","pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"snap out of range", `{"snap":99,"pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"bad t", `{"t":"yesterday","pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"fraction without fault", `{"fraction":0.5,"pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"bad fault scenario", `{"fault":"meteor","pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"fraction out of range", `{"fault":"sat","fraction":1.5,"pairs":[` + pair(0, 1) + `]}`, http.StatusBadRequest},
+		{"limit overflow", `{"pairs":[` + strings.Join(manyPairs, ",") + `]}`, http.StatusBadRequest},
+		{"unknown src city", `{"pairs":[{"src":"Atlantis","dst":"Tokyo"}]}`, http.StatusNotFound},
+		{"unknown dst city", `{"pairs":[{"src":"Tokyo","dst":"Atlantis"}]}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := postJSON(t, s.Handler(), "/v1/paths", []byte(c.body), nil)
+			if rec.Code != c.want {
+				t.Fatalf("status %d, want %d\n%s", rec.Code, c.want, rec.Body.String())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON with error field: %s", rec.Body.String())
+			}
+		})
+	}
+
+	// An oversized body is rejected before the decoder ever sees it.
+	huge := make([]byte, maxBatchBodyBytes+2)
+	for i := range huge {
+		huge[i] = ' '
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/paths", huge, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestBatchPathsOracleCached pins the singleflight attach lifecycle: the
+// first batch for a key builds and attaches the oracle, the second finds it.
+func TestBatchPathsOracleCached(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	payload := []byte(fmt.Sprintf(`{"pairs":[{"src":%q,"dst":%q},{"src":%q,"dst":%q}]}`,
+		sim.CityName(0), sim.CityName(1), sim.CityName(1), sim.CityName(3)))
+
+	var first, second batchRespJSON
+	if rec := postJSON(t, s.Handler(), "/v1/paths", payload, &first); rec.Code != http.StatusOK {
+		t.Fatalf("first batch: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if first.Oracle.Cached {
+		t.Fatal("first batch claims a cached oracle on a cold server")
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/paths", payload, &second); rec.Code != http.StatusOK {
+		t.Fatalf("second batch: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if !second.Oracle.Cached {
+		t.Fatal("second batch rebuilt the oracle instead of finding the attachment")
+	}
+	if got := s.oracleBuilds.Value(); got != 1 {
+		t.Fatalf("oracleBuilds = %d, want 1", got)
+	}
+	if first.Results[0].RTTMs != second.Results[0].RTTMs {
+		t.Fatalf("cached oracle answered differently: %v then %v", first.Results[0].RTTMs, second.Results[0].RTTMs)
+	}
+	cs := s.cache.Stats()
+	if cs.Attachments != 1 {
+		t.Fatalf("cache recorded %d attachments, want 1", cs.Attachments)
+	}
+}
+
+// TestBatchPathsFaulted runs a batch under a nonzero fault mask and checks
+// the answers against the single-query endpoint under the same mask.
+func TestBatchPathsFaulted(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	payload := []byte(fmt.Sprintf(`{"fault":"sat","fraction":0.2,"faultSeed":7,"pairs":[{"src":%q,"dst":%q}]}`,
+		sim.CityName(0), sim.CityName(4)))
+	var batch batchRespJSON
+	if rec := postJSON(t, s.Handler(), "/v1/paths", payload, &batch); rec.Code != http.StatusOK {
+		t.Fatalf("faulted batch: %d\n%s", rec.Code, rec.Body.String())
+	}
+	var single struct {
+		Fault string `json:"fault"`
+		Path  struct {
+			Reachable bool    `json:"reachable"`
+			RTTMs     float64 `json:"rttMs"`
+		} `json:"path"`
+	}
+	url := q("/v1/path", "src", sim.CityName(0), "dst", sim.CityName(4),
+		"fault", "sat", "fraction", "0.2", "fault-seed", "7")
+	if rec := getJSON(t, s.Handler(), url, &single); rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, rec.Code)
+	}
+	got := batch.Results[0]
+	if got.Reachable != single.Path.Reachable || got.RTTMs != single.Path.RTTMs {
+		t.Fatalf("faulted batch (%v, %.6f) != single (%v, %.6f)",
+			got.Reachable, got.RTTMs, single.Path.Reachable, single.Path.RTTMs)
+	}
+}
+
+// TestPrimeOraclesAttach checks the primer piggyback: with PrimeOracles set,
+// every primed (snapshot, mode) key carries a valid oracle attachment, and
+// single-path queries are then served off the oracle (oracleHits moves).
+func TestPrimeOraclesAttach(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{PrimeSnapshots: true, PrimeOracles: true, OracleLandmarks: 2})
+	primed, err := s.primeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(s.times); primed != want {
+		t.Fatalf("primed %d snapshots, want %d", primed, want)
+	}
+	if got := s.oracleBuilds.Value(); got != int64(primed) {
+		t.Fatalf("oracleBuilds = %d, want one per primed snapshot (%d)", got, primed)
+	}
+	for _, mode := range []core.Mode{core.BP, core.Hybrid} {
+		for _, ts := range s.times {
+			aux, n, ok := s.cache.Attachment(s.cacheKey(ts, mode, ""))
+			if !ok || n == nil {
+				t.Fatalf("%s@%v: no attachment after oracle prime", mode, ts)
+			}
+			o, isOracle := aux.(*oracle.Oracle)
+			if !isOracle || !o.Valid(n) {
+				t.Fatalf("%s@%v: attachment is not a valid oracle for its network", mode, ts)
+			}
+		}
+	}
+	before := s.oracleHits.Value()
+	url := q("/v1/path", "src", sim.CityName(0), "dst", sim.CityName(2), "snap", "0")
+	if rec := getJSON(t, s.Handler(), url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("path after oracle prime: %d", rec.Code)
+	}
+	if s.oracleHits.Value() != before+1 {
+		t.Fatalf("single query did not hit the primed oracle (hits %d → %d)", before, s.oracleHits.Value())
+	}
+}
+
+// FuzzBatchPathsDecode fuzzes the pure batch-body decoder: any byte string
+// must yield either a valid request satisfying every documented invariant or
+// a *badRequestError — never a panic, never another error type.
+func FuzzBatchPathsDecode(f *testing.F) {
+	seeds := []string{
+		`{"pairs":[{"src":"A","dst":"B"}]}`,
+		`{"mode":"hybrid","snap":1,"pairs":[{"src":"A","dst":"B"},{"src":"B","dst":"A"}]}`,
+		`{"t":"90m","includeRoutes":true,"pairs":[{"src":"A","dst":"B"}]}`,
+		`{"fault":"sat","fraction":0.5,"faultSeed":3,"pairs":[{"src":"A","dst":"B"}]}`,
+		`{"pairs":[{"src":"A","dst":"A"}]}`,
+		`{"pairs":[{"src":"A","dst":"B"},{"src":"A","dst":"B"}]}`,
+		`{"pairs":[]}`,
+		`{"snap":0,"t":"90m","pairs":[{"src":"A","dst":"B"}]}`,
+		`{"pears":[{"src":"A","dst":"B"}]}`,
+		`{"pairs":[{"src":"A","dst":"B"}]}trailing`,
+		`{`,
+		``,
+		`[1,2,3]`,
+		`{"mode":"warp","pairs":[{"src":"A","dst":"B"}]}`,
+		`{"fraction":2,"fault":"sat","pairs":[{"src":"A","dst":"B"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxPairs = 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeBatchPaths(data, maxPairs)
+		if err != nil {
+			var br *badRequestError
+			if !errors.As(err, &br) {
+				t.Fatalf("decode error is %T, want *badRequestError: %v", err, err)
+			}
+			if req != nil {
+				t.Fatal("decode returned both a request and an error")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("decode returned neither request nor error")
+		}
+		switch req.Mode {
+		case "", "bp", "hybrid":
+		default:
+			t.Fatalf("accepted mode %q", req.Mode)
+		}
+		if req.Snap != nil && req.T != "" {
+			t.Fatal("accepted both snap and t")
+		}
+		if len(req.Pairs) == 0 || len(req.Pairs) > maxPairs {
+			t.Fatalf("accepted %d pairs", len(req.Pairs))
+		}
+		seen := map[batchPair]bool{}
+		for _, p := range req.Pairs {
+			if p.Src == "" || p.Dst == "" || p.Src == p.Dst {
+				t.Fatalf("accepted degenerate pair %+v", p)
+			}
+			if seen[p] {
+				t.Fatalf("accepted duplicate pair %+v", p)
+			}
+			seen[p] = true
+		}
+		if req.Fault == "" && (req.Fraction != nil || req.FaultSeed != nil) {
+			t.Fatal("accepted fraction/faultSeed without fault")
+		}
+		if req.Fraction != nil && (*req.Fraction < 0 || *req.Fraction > 1) {
+			t.Fatalf("accepted fraction %v", *req.Fraction)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"leosim/internal/core"
 	"leosim/internal/fault"
 	"leosim/internal/graph"
+	"leosim/internal/oracle"
 	"leosim/internal/snapcache"
 	"leosim/internal/telemetry"
 	"leosim/internal/version"
@@ -172,14 +173,26 @@ func parseMode(r *http.Request) (core.Mode, error) {
 // the simulation epoch ("90m"); default is the first snapshot.
 func (s *Server) parseTime(r *http.Request) (time.Time, error) {
 	q := r.URL.Query()
-	if snap := q.Get("snap"); snap != "" {
-		i, err := strconv.Atoi(snap)
-		if err != nil || i < 0 || i >= len(s.times) {
+	if sp := q.Get("snap"); sp != "" {
+		i, err := strconv.Atoi(sp)
+		if err != nil {
 			return time.Time{}, badRequest("snap must be an index in [0,%d)", len(s.times))
 		}
-		return s.times[i], nil
+		return s.timeAt(&i, q.Get("t"))
 	}
-	ts := q.Get("t")
+	return s.timeAt(nil, q.Get("t"))
+}
+
+// timeAt resolves a snapshot spec shared by the GET query parameters and the
+// POST /v1/paths body: a schedule index, an RFC3339 instant or duration
+// offset, or (neither) the first snapshot.
+func (s *Server) timeAt(snap *int, ts string) (time.Time, error) {
+	if snap != nil {
+		if *snap < 0 || *snap >= len(s.times) {
+			return time.Time{}, badRequest("snap must be an index in [0,%d)", len(s.times))
+		}
+		return s.times[*snap], nil
+	}
 	if ts == "" {
 		return s.times[0], nil
 	}
@@ -361,11 +374,25 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 }
 
 // pathAt fetches (or builds, once, possibly degraded) the snapshot and
-// routes over it.
+// routes over it. When the snapshot already carries an attached distance
+// oracle (deposited by the primer or an earlier batch), the answer comes
+// from the oracle's precomputed tree — identical to the kernel's, proven by
+// the oracle differential battery — at a fraction of a full search. Single
+// queries never *build* an oracle; only batches and the primer pay that.
 func (s *Server) pathAt(ctx context.Context, t time.Time, mode core.Mode, mask string, src, dst int) (*core.PathQuery, snapMeta, error) {
 	n, meta, err := s.snapshot(ctx, t, mode, mask)
 	if err != nil {
 		return nil, meta, err
+	}
+	if aux, net, ok := s.cache.Attachment(s.cacheKey(t, mode, mask)); ok && net == n {
+		if o, isOracle := aux.(*oracle.Oracle); isOracle && o.Valid(n) {
+			s.oracleHits.Add(1)
+			p, reachable := o.Query(src, dst)
+			if !reachable {
+				return &core.PathQuery{}, meta, nil
+			}
+			return core.PathQueryOf(n, p), meta, nil
+		}
 	}
 	q, err := s.cfg.Sim.PathAt(ctx, n, src, dst)
 	return q, meta, err

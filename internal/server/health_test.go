@@ -1,0 +1,93 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSnapshotsEndpoint pins the /v1/snapshots contract: the schedule (its
+// length, ordering, and spacing must match the sim's scale) plus live cache
+// statistics that actually move with traffic.
+func TestSnapshotsEndpoint(t *testing.T) {
+	sim := serverSim(t)
+	s := newTestServer(t, Config{})
+	var resp struct {
+		Scenario     string         `json:"scenario"`
+		SnapshotStep string         `json:"snapshotStep"`
+		Times        []time.Time    `json:"times"`
+		Cache        cacheStatsJSON `json:"cache"`
+	}
+	if rec := getJSON(t, s.Handler(), "/v1/snapshots", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/snapshots: status %d", rec.Code)
+	}
+	if resp.Scenario == "" {
+		t.Fatal("empty scenario")
+	}
+	if resp.SnapshotStep != sim.Scale.SnapshotStep.String() {
+		t.Fatalf("snapshotStep %q, want %q", resp.SnapshotStep, sim.Scale.SnapshotStep)
+	}
+	if len(resp.Times) != sim.Scale.NumSnapshots {
+		t.Fatalf("%d times, want %d", len(resp.Times), sim.Scale.NumSnapshots)
+	}
+	for i := 1; i < len(resp.Times); i++ {
+		if step := resp.Times[i].Sub(resp.Times[i-1]); step != sim.Scale.SnapshotStep {
+			t.Fatalf("times[%d]-times[%d] = %v, want %v", i, i-1, step, sim.Scale.SnapshotStep)
+		}
+	}
+	if resp.Cache.Builds != 0 || resp.Cache.Resident != 0 {
+		t.Fatalf("cold cache reports %d builds, %d resident", resp.Cache.Builds, resp.Cache.Resident)
+	}
+
+	// One path query must show up as exactly one build and one resident graph.
+	url := q("/v1/path", "src", sim.CityName(0), "dst", sim.CityName(1))
+	if rec := getJSON(t, s.Handler(), url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, rec.Code)
+	}
+	if rec := getJSON(t, s.Handler(), "/v1/snapshots", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/snapshots after query: status %d", rec.Code)
+	}
+	if resp.Cache.Builds != 1 || resp.Cache.Resident != 1 {
+		t.Fatalf("after one query: %d builds, %d resident (want 1, 1)", resp.Cache.Builds, resp.Cache.Resident)
+	}
+}
+
+func healthStatus(t *testing.T, s *Server) string {
+	t.Helper()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if rec := getJSON(t, s.Handler(), "/healthz", &health); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz: status %d", rec.Code)
+	}
+	return health.Status
+}
+
+// TestHealthzDegradedWindow pins the one-minute recency window: a fallback
+// serve flips /healthz to "degraded" for degradedWindow, after which the
+// status recovers to "ok" on its own (white-box: the recency mark is a
+// timestamp, so the test moves it rather than sleeping a minute).
+func TestHealthzDegradedWindow(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if got := healthStatus(t, s); got != "ok" {
+		t.Fatalf("fresh server status %q, want ok", got)
+	}
+
+	// A fallback serve just happened: inside the window.
+	s.lastDegraded.Store(time.Now().UnixNano())
+	if got := healthStatus(t, s); got != "degraded" {
+		t.Fatalf("status %q just after a degraded serve, want degraded", got)
+	}
+
+	// Still inside the window near its edge.
+	s.lastDegraded.Store(time.Now().Add(-degradedWindow / 2).UnixNano())
+	if got := healthStatus(t, s); got != "degraded" {
+		t.Fatalf("status %q halfway through the window, want degraded", got)
+	}
+
+	// Past the window: the incident has aged out.
+	s.lastDegraded.Store(time.Now().Add(-degradedWindow - time.Second).UnixNano())
+	if got := healthStatus(t, s); got != "ok" {
+		t.Fatalf("status %q after the window elapsed, want ok", got)
+	}
+}

@@ -32,11 +32,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"leosim/internal/core"
 	"leosim/internal/fault"
+	"leosim/internal/oracle"
 	"leosim/internal/safe"
 	"leosim/internal/snapcache"
 	"leosim/internal/telemetry"
@@ -76,6 +78,15 @@ type Config struct {
 	// instead of paying a cold build. With priming on, the default cache is
 	// sized to hold both modes' full day.
 	PrimeSnapshots bool
+	// PrimeOracles piggybacks distance-oracle construction on the priming
+	// walker: every primed snapshot also gets its path oracle built and
+	// attached, so the first batch (or single path query) against any
+	// snapshot of the day skips the one-time build. Requires
+	// PrimeSnapshots; ignored without it.
+	PrimeOracles bool
+	// OracleLandmarks is the ALT landmark count per oracle (0 = the oracle
+	// package default).
+	OracleLandmarks int
 	// Chaos, when non-nil, injects seeded faults (errors, delays, panics)
 	// into every snapshot build — the chaos-testing hook. Nil in production.
 	Chaos *fault.Chaos
@@ -162,6 +173,13 @@ type Server struct {
 	degraded, staleResponses, breakerTrips *telemetry.Counter
 	inflight                               *telemetry.Gauge
 
+	// Oracle serving state: per-key singleflight for the one-time builds,
+	// plus counters for builds paid and attached oracles reused.
+	oracleMu       sync.Mutex
+	oracleInflight map[snapcache.Key]*oracleCall
+	oracleBuilds   *telemetry.Counter
+	oracleHits     *telemetry.Counter
+
 	// lastDegraded is the unix-nano time of the most recent degraded
 	// (fallback) serve; /healthz reports "degraded" while it is recent.
 	lastDegraded atomic.Int64
@@ -173,11 +191,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		scenario: fmt.Sprintf("%s/%s", cfg.Sim.Choice, cfg.Sim.Scale.Name),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		times:    cfg.Sim.SnapshotTimes(),
-		started:  time.Now(),
+		cfg:            cfg,
+		scenario:       fmt.Sprintf("%s/%s", cfg.Sim.Choice, cfg.Sim.Scale.Name),
+		sem:            make(chan struct{}, cfg.MaxInFlight),
+		times:          cfg.Sim.SnapshotTimes(),
+		started:        time.Now(),
+		oracleInflight: map[snapcache.Key]*oracleCall{},
 	}
 	s.cache = snapcache.New(s.buildSnapshot, snapcache.Options{
 		Capacity:         cfg.CacheSize,
@@ -214,6 +233,10 @@ func New(cfg Config) (*Server, error) {
 	s.staleResponses = s.reg.Counter("staleResponses")
 	s.breakerTrips = s.reg.Counter("breakerRejects")
 	s.inflight = s.reg.Gauge("inflight")
+	// Oracle accounting: one-time builds paid (on demand or by the primer)
+	// and queries answered from an already-attached oracle.
+	s.oracleBuilds = s.reg.Counter("oracleBuilds")
+	s.oracleHits = s.reg.Counter("oracleHits")
 	// Snapshot-cache counters as pull-style gauges: read at snapshot time
 	// from the cache's own atomics, never copied on the request path.
 	// singleflight_shares is the misses that piggybacked on another
@@ -235,6 +258,7 @@ func New(cfg Config) (*Server, error) {
 	s.reg.RegisterGaugeFunc("cache_build_timeouts", func() int64 { return s.cache.Stats().Timeouts })
 	s.reg.RegisterGaugeFunc("cache_late_builds", func() int64 { return s.cache.Stats().LateBuilds })
 	s.reg.RegisterGaugeFunc("cache_fast_fails", func() int64 { return s.cache.Stats().FastFails })
+	s.reg.RegisterGaugeFunc("cache_attachments", func() int64 { return s.cache.Stats().Attachments })
 	s.reg.RegisterGaugeFunc("breaker_state", func() int64 { return int64(s.cache.Breaker().State) })
 	s.reg.RegisterGaugeFunc("build_failure_streak", func() int64 { return s.cache.Breaker().FailureStreak })
 
@@ -244,6 +268,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/path", s.instrumented("path", slog.LevelInfo, s.limited(s.handlePath)))
 	s.mux.HandleFunc("GET /v1/latency", s.instrumented("latency", slog.LevelInfo, s.limited(s.handleLatency)))
 	s.mux.HandleFunc("GET /v1/reachability", s.instrumented("reachability", slog.LevelInfo, s.limited(s.handleReachability)))
+	// Batched multi-pair path queries, answered from per-snapshot distance
+	// oracles (built once per snapshot epoch, singleflighted, attached to
+	// the snapshot's cache entry).
+	s.mux.HandleFunc("POST /v1/paths", s.instrumented("paths", slog.LevelInfo, s.limited(s.handleBatchPaths)))
 	// Introspection endpoints: never shed, so probes and dashboards keep
 	// working while the query pool is saturated; logged at debug so a
 	// scraper doesn't drown the request log.
@@ -450,8 +478,21 @@ func (s *Server) primeAll(ctx context.Context) (primed int, err error) {
 			}
 			// The walker's network is mutated in place by the next step;
 			// the cache gets an immutable clone with its CSR pre-frozen.
-			s.cache.Put(s.cacheKey(t, mode, ""), w.At(t).Clone())
+			clone := w.At(t).Clone()
+			key := s.cacheKey(t, mode, "")
+			s.cache.Put(key, clone)
 			primed++
+			if s.cfg.PrimeOracles {
+				// The oracle build rides the primer: once it lands, the
+				// first query against this snapshot — single or batched —
+				// skips both the graph build and the oracle build.
+				o, oerr := oracle.Build(ctx, clone, oracle.Options{Landmarks: s.cfg.OracleLandmarks})
+				if oerr != nil {
+					return primed, oerr
+				}
+				s.oracleBuilds.Add(1)
+				s.cache.Attach(key, clone, o)
+			}
 		}
 	}
 	return primed, nil

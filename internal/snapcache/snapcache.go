@@ -111,6 +111,12 @@ type Stats struct {
 	Hits, Misses, Builds, Evictions, Expirations, Errors int64
 	// StaleServes counts Gets answered with an expired-but-valid entry.
 	StaleServes int64
+	// Attachments counts successful Attach calls (derived artifacts —
+	// e.g. distance oracles — keyed to entry lifecycles).
+	Attachments int64
+	// AttachMisses counts Attach calls rejected because the entry was gone
+	// or its network had been replaced since the artifact was derived.
+	AttachMisses int64
 	// Primed counts entries inserted ready-made via Put (cache priming)
 	// rather than built on demand.
 	Primed int64
@@ -192,6 +198,12 @@ type entry struct {
 	n       *graph.Network
 	builtAt time.Time
 	elem    *list.Element // position in the LRU list; Value is the Key
+	// aux is the attachment riding this entry (a derived artifact such as a
+	// distance oracle built from n). It shares the entry's whole lifecycle:
+	// eviction, hard expiry and Purge drop it with the entry, and a rebuild
+	// that replaces n clears it — an attachment never outlives, or
+	// mismatches, the snapshot it was derived from.
+	aux any
 }
 
 // call is one in-flight singleflight build.
@@ -232,6 +244,7 @@ type Cache struct {
 	hits, misses, builds, evictions, expirations, errors atomic.Int64
 	staleServes, timeouts, lateBuilds, primed            atomic.Int64
 	fastFails, breakerOpens                              atomic.Int64
+	attachments, attachMisses                            atomic.Int64
 }
 
 // New creates a cache that builds missing snapshots with build.
@@ -528,9 +541,14 @@ func (c *Cache) finish(ctx context.Context, key Key, cl *call) {
 }
 
 // insertLocked puts a freshly built network into the LRU, refreshing an
-// existing (stale) entry in place rather than duplicating it.
+// existing (stale) entry in place rather than duplicating it. Refreshing
+// with a different network drops the entry's attachment: the artifact was
+// derived from the old graph and must not describe the new one.
 func (c *Cache) insertLocked(key Key, n *graph.Network) {
 	if e, ok := c.entries[key]; ok {
+		if e.n != n {
+			e.aux = nil
+		}
 		e.n = n
 		e.builtAt = c.now()
 		c.lru.MoveToFront(e.elem)
@@ -579,6 +597,42 @@ func (c *Cache) Put(key Key, n *graph.Network) {
 	c.insertLocked(key, n)
 	c.mu.Unlock()
 	c.primed.Add(1)
+}
+
+// Attach associates a derived artifact (e.g. a distance oracle) with the
+// resident entry for key, provided the entry still holds exactly the network
+// n it was derived from. Pointer identity is the generation guard: a rebuild,
+// Purge, eviction or TTL expiry between deriving the artifact and attaching
+// it makes the attach a no-op (returning false) rather than pinning a result
+// about a graph the cache no longer serves. The attachment is dropped
+// whenever its entry is — it rides the same LRU/TTL/generation lifecycle.
+func (c *Cache) Attach(key Key, n *graph.Network, aux any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.n != n {
+		c.attachMisses.Add(1)
+		return false
+	}
+	e.aux = aux
+	c.attachments.Add(1)
+	return true
+}
+
+// Attachment returns key's attachment and the network it was derived from,
+// if the entry is resident, servable (within TTL+StaleFor) and carries one.
+// LRU order and counters are untouched — like GetCached, this is a probe.
+func (c *Cache) Attachment(key Key) (any, *graph.Network, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.aux == nil {
+		return nil, nil, false
+	}
+	if c.ttl > 0 && c.now().Sub(e.builtAt) >= c.ttl+c.staleFor {
+		return nil, nil, false
+	}
+	return e.aux, e.n, true
 }
 
 // Peek reports whether key is resident without touching LRU order or
@@ -653,5 +707,7 @@ func (c *Cache) Stats() Stats {
 		LateBuilds:   c.lateBuilds.Load(),
 		FastFails:    c.fastFails.Load(),
 		BreakerOpens: c.breakerOpens.Load(),
+		Attachments:  c.attachments.Load(),
+		AttachMisses: c.attachMisses.Load(),
 	}
 }

@@ -40,6 +40,12 @@ const (
 	// StageAdvance is one incremental snapshot advance (Advancer.Advance),
 	// the per-step delta alternative to a full StageGraphBuild.
 	StageAdvance
+	// StageOracleBuild is one per-snapshot distance-oracle construction
+	// (oracle.Build): the one-time cost the batched query path amortizes.
+	StageOracleBuild
+	// StageOracleQuery is one oracle-answered path query — the precomputed
+	// alternative to a full StageSearch.
+	StageOracleQuery
 	// NumStages bounds the Stage enum; not a stage itself.
 	NumStages
 )
@@ -48,6 +54,7 @@ var stageNames = [NumStages]string{
 	"graph_build", "csr_freeze", "search", "kdisjoint", "yen",
 	"maxmin_alloc", "weather", "fault_realize",
 	"cache_hit", "cache_miss", "cache_wait", "advance",
+	"oracle_build", "oracle_query",
 }
 
 // String returns the stable snake_case stage name used in /metrics keys,

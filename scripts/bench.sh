@@ -1,7 +1,7 @@
 #!/bin/sh
 # Run a benchmark suite and record it in its trajectory JSON file.
 #
-# usage: scripts/bench.sh [routing|snapshot|topo|telemetry|all] [label]
+# usage: scripts/bench.sh [routing|snapshot|topo|telemetry|serve|all] [label]
 #
 # Targets:
 #   routing   — the routing hot path (Dijkstra, ShortestPath, KDisjointPaths,
@@ -17,6 +17,11 @@
 #               enabled, plus the routing kernel with and without telemetry;
 #               BenchmarkSearch must stay within noise of the kernel
 #               baselines in BENCH_routing.json → BENCH_telemetry.json
+#   serve     — the batched serving path: one-time oracle build cost per
+#               snapshot (BenchmarkOracleBuild) against the per-pair batched
+#               query cost it buys (BenchmarkOracleBatch — must stay well
+#               under 100µs — and BenchmarkOracleQuery, the bare distance
+#               read) → BENCH_serve.json
 #   all       — all of the above (default)
 #
 # The label names the run inside the trajectory file (default "current");
@@ -65,19 +70,28 @@ run_telemetry() {
 		go run ./scripts/benchjson -label "$LABEL" -out BENCH_telemetry.json
 }
 
+run_serve() {
+	PATTERN='^(BenchmarkOracleBuild|BenchmarkOracleQuery|BenchmarkOracleBatch)$'
+	go test -run '^$' -bench "$PATTERN" -benchmem -count 1 \
+		./internal/oracle |
+		go run ./scripts/benchjson -label "$LABEL" -out BENCH_serve.json
+}
+
 case "$TARGET" in
 routing) run_routing ;;
 snapshot) run_snapshot ;;
 topo) run_topo ;;
 telemetry) run_telemetry ;;
+serve) run_serve ;;
 all)
 	run_routing
 	run_snapshot
 	run_topo
 	run_telemetry
+	run_serve
 	;;
 *)
-	echo "usage: scripts/bench.sh [routing|snapshot|topo|telemetry|all] [label]" >&2
+	echo "usage: scripts/bench.sh [routing|snapshot|topo|telemetry|serve|all] [label]" >&2
 	exit 2
 	;;
 esac

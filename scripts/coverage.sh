@@ -1,0 +1,30 @@
+#!/bin/sh
+# Run the test suite with coverage, write a per-package summary artifact, and
+# enforce the coverage floor on internal/oracle (the distance-oracle layer is
+# pure algorithmic code — there is no excuse for untested statements there).
+#
+# usage: scripts/coverage.sh [floor-percent]
+#
+# Artifacts land in coverage/: packages.txt (per-package summary, the CI
+# artifact), func.txt (per-function breakdown), cover.out (raw profile).
+set -eu
+cd "$(dirname "$0")/.."
+
+FLOOR="${1:-85}"
+mkdir -p coverage
+
+go test -short -count=1 -coverprofile=coverage/cover.out ./... | tee coverage/packages.txt
+go tool cover -func=coverage/cover.out > coverage/func.txt
+
+ORACLE=$(awk '$1 == "ok" && $2 == "leosim/internal/oracle" {
+	for (i = 1; i <= NF; i++) if ($i ~ /%/) { gsub(/%.*/, "", $i); print $i }
+}' coverage/packages.txt)
+if [ -z "$ORACLE" ]; then
+	echo "coverage: no result line for leosim/internal/oracle" >&2
+	exit 1
+fi
+echo "internal/oracle coverage: ${ORACLE}% (floor ${FLOOR}%)"
+if awk -v got="$ORACLE" -v floor="$FLOOR" 'BEGIN { exit !(got < floor) }'; then
+	echo "coverage: internal/oracle at ${ORACLE}% is below the ${FLOOR}% floor" >&2
+	exit 1
+fi
